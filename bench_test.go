@@ -1,0 +1,212 @@
+// Benchmark harness: one testing.B benchmark per experiment in DESIGN.md's
+// per-experiment index (E1-E8). The simulator is deterministic, so each
+// benchmark reports *simulated* metrics via b.ReportMetric:
+//
+//	simus/op   — simulated microseconds per collective episode (or per run)
+//	ratio      — baseline simulated time / hierarchy-aware simulated time
+//	gflops     — HPL performance in the simulated machine
+//
+// Wall-clock ns/op measures only the simulator itself. cmd/teamsbench and
+// cmd/hplbench print the corresponding paper-style tables; EXPERIMENTS.md
+// records paper-vs-measured values.
+package main
+
+import (
+	"testing"
+
+	"cafteams/internal/bench"
+	"cafteams/internal/coll"
+	"cafteams/internal/core"
+	"cafteams/internal/hpl"
+	"cafteams/internal/machine"
+	"cafteams/internal/pgas"
+	"cafteams/internal/sim"
+	"cafteams/internal/team"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// measure runs a collective comparator and returns simulated ns/episode.
+func measure(b *testing.B, spec string, cmp bench.Comparator, elems, iters int) sim.Time {
+	b.Helper()
+	p, err := bench.Measure(spec, cmp, elems, iters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.Latency
+}
+
+func cmpByName(b *testing.B, c bench.Collective, name string) bench.Comparator {
+	b.Helper()
+	for _, cmp := range bench.Comparators(c) {
+		if cmp.Name == name {
+			return cmp
+		}
+	}
+	b.Fatalf("no comparator %q", name)
+	return bench.Comparator{}
+}
+
+// BenchmarkE1_BarrierFlatHierarchy: with one image per node TDLB must match
+// pure dissemination (paper §V-A claim (1)).
+func BenchmarkE1_BarrierFlatHierarchy(b *testing.B) {
+	tdlb := cmpByName(b, bench.Barrier, "TDLB (2-level)")
+	diss := cmpByName(b, bench.Barrier, "GASNet RDMA dissemination")
+	var t1, t2 sim.Time
+	for i := 0; i < b.N; i++ {
+		t1 = measure(b, "44(44)", tdlb, 1, 10)
+		t2 = measure(b, "44(44)", diss, 1, 10)
+	}
+	b.ReportMetric(float64(t1)/1000, "simus/op")
+	b.ReportMetric(float64(t2)/float64(t1), "ratio")
+}
+
+// BenchmarkE2_BarrierHierarchy: 8 images/node, TDLB vs the old UHCAF AM
+// dissemination baseline (paper: up to 26x) and vs IB-verbs dissemination
+// (paper: TDLB only marginally more expensive).
+func BenchmarkE2_BarrierHierarchy(b *testing.B) {
+	tdlb := cmpByName(b, bench.Barrier, "TDLB (2-level)")
+	am := cmpByName(b, bench.Barrier, "UHCAF dissemination (AM)")
+	ibv := cmpByName(b, bench.Barrier, "GASNet IB dissemination")
+	var tT, tA, tI sim.Time
+	for i := 0; i < b.N; i++ {
+		tT = measure(b, "352(44)", tdlb, 1, 10)
+		tA = measure(b, "352(44)", am, 1, 10)
+		tI = measure(b, "352(44)", ibv, 1, 10)
+	}
+	b.ReportMetric(float64(tT)/1000, "simus/op")
+	b.ReportMetric(float64(tA)/float64(tT), "ratio")
+	b.ReportMetric(float64(tT)/float64(tI), "vs-ibv")
+}
+
+// BenchmarkE3_Reduction: two-level all-to-all reduction vs the old UHCAF
+// centralized baseline (paper: up to 74x).
+func BenchmarkE3_Reduction(b *testing.B) {
+	two := cmpByName(b, bench.Reduce, "two-level reduction")
+	base := cmpByName(b, bench.Reduce, "UHCAF linear (AM)")
+	var tT, tB sim.Time
+	for i := 0; i < b.N; i++ {
+		tT = measure(b, "352(44)", two, 8, 5)
+		tB = measure(b, "352(44)", base, 8, 5)
+	}
+	b.ReportMetric(float64(tT)/1000, "simus/op")
+	b.ReportMetric(float64(tB)/float64(tT), "ratio")
+}
+
+// BenchmarkE4_Broadcast: two-level broadcast vs the flat binomial baseline
+// (paper: up to 3x; the smallest of the three collective improvements).
+func BenchmarkE4_Broadcast(b *testing.B) {
+	two := cmpByName(b, bench.Bcast, "two-level broadcast")
+	flat := cmpByName(b, bench.Bcast, "flat binomial")
+	var tT, tF sim.Time
+	for i := 0; i < b.N; i++ {
+		tT = measure(b, "352(44)", two, 1024, 5)
+		tF = measure(b, "352(44)", flat, 1024, 5)
+	}
+	b.ReportMetric(float64(tT)/1000, "simus/op")
+	b.ReportMetric(float64(tF)/float64(tT), "ratio")
+}
+
+// BenchmarkE5_HPL: Figure 1 at reduced problem sizes — two-level vs
+// one-level GFLOP/s (paper: up to 32% improvement, ordering UHCAF-2level >
+// CAF2.0-OpenUH > CAF2.0-GFortran).
+func BenchmarkE5_HPL(b *testing.B) {
+	cfg := hpl.FigureConfig{Spec: "64(8)", P: 8, Q: 8, N: 2048, NB: 64}
+	variants := hpl.PaperVariants()
+	run := func(v hpl.Variant) hpl.Result {
+		topo, err := topology.ParseSpec(cfg.Spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := pgas.NewWorld(sim.NewEnv(), v.Model(machine.PaperCluster()), topo, trace.New())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := hpl.Run(w, hpl.Config{N: cfg.N, NB: cfg.NB, P: cfg.P, Q: cfg.Q, Seed: 1, Level: v.Level})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		return res
+	}
+	var two, one hpl.Result
+	for i := 0; i < b.N; i++ {
+		two = run(variants[0]) // UHCAF 2level
+		one = run(variants[1]) // UHCAF 1level
+	}
+	b.ReportMetric(two.GFlops, "gflops")
+	b.ReportMetric(float64(one.FactTime)/float64(two.FactTime), "ratio")
+}
+
+// BenchmarkE6_AblationStrategies: the §IV design choice — dissemination vs
+// linear for the inter-node phase, hierarchy vs none.
+func BenchmarkE6_AblationStrategies(b *testing.B) {
+	mk := func(fn func(v *team.View)) bench.Comparator {
+		return bench.Comparator{Name: "x", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					fn(v)
+				}
+			}}
+	}
+	var tdlb, tdll, flat sim.Time
+	for i := 0; i < b.N; i++ {
+		tdlb = measure(b, "352(44)", mk(core.BarrierTDLB), 1, 10)
+		tdll = measure(b, "352(44)", mk(core.BarrierTDLL), 1, 10)
+		flat = measure(b, "352(44)", mk(func(v *team.View) { coll.BarrierDissemination(v, pgas.ViaConduit) }), 1, 10)
+	}
+	b.ReportMetric(float64(tdlb)/1000, "simus/op")
+	b.ReportMetric(float64(tdll)/float64(tdlb), "linear-inter-penalty")
+	b.ReportMetric(float64(flat)/float64(tdlb), "ratio")
+}
+
+// BenchmarkE7_ThreeLevel: the socket-aware 3-level barrier (paper future
+// work) vs 2-level and flat.
+func BenchmarkE7_ThreeLevel(b *testing.B) {
+	mk := func(fn func(v *team.View)) bench.Comparator {
+		return bench.Comparator{Name: "x", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					fn(v)
+				}
+			}}
+	}
+	var two, three sim.Time
+	for i := 0; i < b.N; i++ {
+		two = measure(b, "352(44)", mk(core.BarrierTDLB), 1, 10)
+		three = measure(b, "352(44)", mk(core.BarrierTDLB3), 1, 10)
+	}
+	b.ReportMetric(float64(three)/1000, "simus/op")
+	b.ReportMetric(float64(two)/float64(three), "ratio")
+}
+
+// BenchmarkE8_MessageCounts: validates the paper's §IV analysis — n·log n
+// notifications for dissemination vs 2(n−1) for the centralized linear
+// barrier — against the tracer.
+func BenchmarkE8_MessageCounts(b *testing.B) {
+	var dissMsgs, linMsgs int64
+	for i := 0; i < b.N; i++ {
+		run := func(fn func(v *team.View)) int64 {
+			topo, err := topology.ParseSpec("32(4)")
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats := trace.New()
+			w, err := pgas.NewWorld(sim.NewEnv(), machine.PaperCluster(), topo, stats)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Run(func(im *pgas.Image) { fn(team.Initial(w, im)) })
+			return stats.Snapshot().Ops[trace.OpNotify]
+		}
+		dissMsgs = run(func(v *team.View) { coll.BarrierDissemination(v, pgas.ViaConduit) })
+		linMsgs = run(func(v *team.View) { coll.BarrierLinear(v, pgas.ViaConduit) })
+	}
+	if want := int64(32 * 5); dissMsgs != want { // ceil(log2 32) = 5
+		b.Fatalf("dissemination msgs = %d, want %d", dissMsgs, want)
+	}
+	if want := int64(2 * 31); linMsgs != want {
+		b.Fatalf("linear msgs = %d, want %d", linMsgs, want)
+	}
+	b.ReportMetric(float64(dissMsgs), "diss-msgs")
+	b.ReportMetric(float64(linMsgs), "linear-msgs")
+}

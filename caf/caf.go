@@ -1,0 +1,308 @@
+// Package caf is the public API of the library: a Coarray-Fortran-style
+// programming model for Go on a simulated cluster, with Fortran 2015 teams
+// and the paper's memory-hierarchy-aware collective runtime.
+//
+// A program is an SPMD body executed by every image (1-based, as in
+// Fortran). Images synchronize with SyncAll/SyncImages, communicate through
+// coarrays (one-sided Put/Get), form teams (FormTeam/ChangeTeam), and use
+// the collective intrinsics CoSum/CoMax/CoMin/CoBroadcast. All collective
+// operations are dispatched through the hierarchy policy configured for the
+// run: the paper's two-level methodology by default, selectable to the flat
+// one-level baseline or the three-level (socket-aware) extension.
+//
+// Quick start:
+//
+//	rep, err := caf.Run(caf.Config{Spec: "16(2)"}, func(im *caf.Image) {
+//	    x := []float64{float64(im.ThisImage())}
+//	    im.CoSum(x)
+//	    if im.ThisImage() == 1 {
+//	        fmt.Println("sum over images:", x[0])
+//	    }
+//	})
+package caf
+
+import (
+	"fmt"
+
+	"cafteams/internal/coll"
+	"cafteams/internal/core"
+	"cafteams/internal/machine"
+	"cafteams/internal/pgas"
+	"cafteams/internal/sim"
+	"cafteams/internal/team"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// Hierarchy selects how the collective runtime exploits the memory
+// hierarchy.
+type Hierarchy = core.Level
+
+// Hierarchy levels.
+const (
+	// OneLevel is the flat, placement-oblivious baseline runtime.
+	OneLevel = core.LevelFlat
+	// TwoLevel is the paper's node-aware methodology (TDLB et al.).
+	TwoLevel = core.LevelTwo
+	// ThreeLevel adds socket awareness (the paper's future-work
+	// extension).
+	ThreeLevel = core.LevelThree
+	// Auto picks two-level when any node hosts more than one image of
+	// the team, flat otherwise.
+	Auto = core.LevelAuto
+)
+
+// Config describes the simulated machine and runtime for a Run.
+type Config struct {
+	// Spec places images with the paper's "images(nodes)" notation, e.g.
+	// "64(8)". Takes precedence over Images.
+	Spec string
+	// Images places this many images on a single shared-memory node when
+	// Spec is empty.
+	Images int
+	// Model overrides the machine model (default: the paper's 44-node
+	// InfiniBand cluster).
+	Model *machine.Model
+	// Conduit selects the communication software stack being modeled.
+	Conduit machine.Conduit
+	// Hierarchy selects the collective runtime level (default Auto).
+	Hierarchy Hierarchy
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	// Elapsed is the simulated wall-clock time of the whole run.
+	Elapsed sim.Time
+	// Stats holds communication counters.
+	Stats trace.Snapshot
+	// Images is the number of images that ran.
+	Images int
+}
+
+// Image is one executing image's handle. All methods must be called from
+// the image's own body function.
+type Image struct {
+	img   *pgas.Image
+	w     *pgas.World
+	pol   core.Policy
+	stack []*team.View // current team on top
+}
+
+// Run launches an SPMD program: body executes once per image, concurrently
+// in simulated time. Run returns when every image has finished. It returns
+// an error for configuration problems and panics (like a crashed job) if
+// the program deadlocks.
+//
+// The zero value of Config.Hierarchy runs the Auto policy (the paper's
+// two-level methodology wherever a node hosts more than one image); use
+// RunFlat for the one-level baseline.
+func Run(cfg Config, body func(im *Image)) (Report, error) {
+	level := cfg.Hierarchy
+	if level == core.LevelFlat {
+		level = core.LevelAuto
+	}
+	return runWithLevel(cfg, level, body)
+}
+
+// RunFlat is Run with the one-level (hierarchy-oblivious) runtime — the
+// paper's baseline. Provided separately because the zero Config defaults to
+// the hierarchy-aware runtime.
+func RunFlat(cfg Config, body func(im *Image)) (Report, error) {
+	return runWithLevel(cfg, core.LevelFlat, body)
+}
+
+func runWithLevel(cfg Config, level core.Level, body func(im *Image)) (Report, error) {
+	var topo *topology.Topology
+	var err error
+	switch {
+	case cfg.Spec != "":
+		topo, err = topology.ParseSpec(cfg.Spec)
+	case cfg.Images > 0:
+		topo, err = topology.New(1, 2, (cfg.Images+1)/2, cfg.Images, topology.PlaceBlock)
+	default:
+		err = fmt.Errorf("caf: config needs Spec or Images")
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	model := cfg.Model
+	if model == nil {
+		model = machine.PaperCluster()
+	}
+	model = model.WithConduit(cfg.Conduit)
+	stats := trace.New()
+	w, err := pgas.NewWorld(sim.NewEnv(), model, topo, stats)
+	if err != nil {
+		return Report{}, err
+	}
+	end := w.Run(func(pim *pgas.Image) {
+		im := &Image{img: pim, w: w, pol: core.Policy{Level: level}}
+		im.stack = []*team.View{team.Initial(w, pim)}
+		body(im)
+	})
+	return Report{Elapsed: end, Stats: stats.Snapshot(), Images: w.NumImages()}, nil
+}
+
+// view returns the current team view (innermost change-team block).
+func (im *Image) view() *team.View { return im.stack[len(im.stack)-1] }
+
+// ThisImage returns this image's index in the current team, 1-based as in
+// Fortran.
+func (im *Image) ThisImage() int { return im.view().Rank + 1 }
+
+// NumImages returns the current team's size.
+func (im *Image) NumImages() int { return im.view().NumImages() }
+
+// GlobalImage returns this image's index in the initial team, 1-based.
+func (im *Image) GlobalImage() int { return im.img.Rank() + 1 }
+
+// Node returns the physical node hosting this image (for inspection).
+func (im *Image) Node() int { return im.img.Node() }
+
+// Now returns the current simulated time in nanoseconds.
+func (im *Image) Now() sim.Time { return im.img.Now() }
+
+// Compute charges flops floating-point operations of local compute time.
+func (im *Image) Compute(flops float64) { im.img.Compute(flops) }
+
+// Sleep advances this image by d simulated nanoseconds.
+func (im *Image) Sleep(d sim.Time) { im.img.Sleep(d) }
+
+// SyncAll synchronizes the current team (CAF "sync all", and "sync team"
+// when inside a change-team block), dispatched through the hierarchy
+// policy — TDLB on the two-level runtime.
+func (im *Image) SyncAll() { im.pol.Barrier(im.view()) }
+
+// SyncImages synchronizes pairwise with the listed images (1-based, current
+// team).
+func (im *Image) SyncImages(images []int) {
+	v := im.view()
+	globals := make([]int, 0, len(images))
+	for _, idx := range images {
+		globals = append(globals, v.T.GlobalRank(idx-1))
+	}
+	im.img.SyncImages(globals)
+}
+
+// CoSum reduces a element-wise by summation across the current team; every
+// image receives the result (CAF co_sum).
+func (im *Image) CoSum(a []float64) { im.pol.Allreduce(im.view(), a, coll.Sum) }
+
+// CoMax reduces element-wise by maximum (CAF co_max).
+func (im *Image) CoMax(a []float64) { im.pol.Allreduce(im.view(), a, coll.Max) }
+
+// CoMin reduces element-wise by minimum (CAF co_min).
+func (im *Image) CoMin(a []float64) { im.pol.Allreduce(im.view(), a, coll.Min) }
+
+// CoSumTo reduces a by summation onto resultImage only (1-based, current
+// team) — the CAF co_sum(result_image=...) form. Other images' buffers are
+// left with partial values.
+func (im *Image) CoSumTo(a []float64, resultImage int) {
+	im.pol.ReduceTo(im.view(), resultImage-1, a, coll.Sum)
+}
+
+// CoReduce reduces with a caller-supplied associative, commutative
+// operation.
+func (im *Image) CoReduce(a []float64, name string, combine func(dst, src []float64)) {
+	im.pol.Allreduce(im.view(), a, coll.Op{Name: name, Combine: combine})
+}
+
+// CoBroadcast broadcasts a from sourceImage (1-based, current team) to the
+// whole team (CAF co_broadcast).
+func (im *Image) CoBroadcast(a []float64, sourceImage int) {
+	im.pol.Broadcast(im.view(), sourceImage-1, a)
+}
+
+// CoAllgather concatenates every image's mine vector into out, ordered by
+// team rank, on every image of the current team. out must hold
+// NumImages()*len(mine) elements.
+func (im *Image) CoAllgather(mine, out []float64) {
+	im.pol.Allgather(im.view(), mine, out)
+}
+
+// Team is a formed team handle (the team_type value).
+type Team struct{ v *team.View }
+
+// FormTeam splits the current team into subteams by number (CAF "form
+// team (number, team)"). Every image of the current team must call it.
+// Images passing the same number join the same subteam, ordered by current
+// team rank.
+func (im *Image) FormTeam(number int64) *Team {
+	return &Team{v: im.view().Form(number, -1)}
+}
+
+// FormTeamIndexed is FormTeam with an explicit NEW_INDEX (1-based rank
+// request within the new team).
+func (im *Image) FormTeamIndexed(number int64, newIndex int) *Team {
+	return &Team{v: im.view().Form(number, newIndex-1)}
+}
+
+// TeamNumber returns the team number of this image's team t (CAF team_id
+// when applied to a formed team).
+func (t *Team) TeamNumber() int64 { return t.v.T.Number() }
+
+// NumImages returns t's size.
+func (t *Team) NumImages() int { return t.v.NumImages() }
+
+// ThisImage returns the caller's 1-based index within t.
+func (t *Team) ThisImage() int { return t.v.Rank + 1 }
+
+// ChangeTeam executes body with t as the current team (the CAF
+// "change team (t) ... end team" block). Team-relative intrinsics,
+// synchronization and collectives inside body operate on t.
+func (im *Image) ChangeTeam(t *Team, body func()) {
+	im.stack = append(im.stack, t.v)
+	defer func() { im.stack = im.stack[:len(im.stack)-1] }()
+	body()
+}
+
+// GridTeams forms row and column teams of a p×q process grid over the
+// current team (rank = row*q + col), the decomposition the HPL port uses.
+func (im *Image) GridTeams(p, q int) (row, col *Team, err error) {
+	rv, cv, err := im.view().Grid(p, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Team{v: rv}, &Team{v: cv}, nil
+}
+
+// Coarray is a symmetric shared array of float64 allocated across the
+// current team at creation time.
+type Coarray struct {
+	co *pgas.Coarray[float64]
+	v  *team.View
+}
+
+// NewCoarray collectively allocates a coarray of n elements per image of
+// the current team. Coarrays allocated inside a ChangeTeam block exist only
+// on that team's images — the paper's team-scoped allocation.
+func (im *Image) NewCoarray(name string, n int) *Coarray {
+	v := im.view()
+	members := make([]int, v.T.Size())
+	copy(members, v.T.Members())
+	return &Coarray{
+		co: pgas.NewTeamCoarray[float64](im.w, fmt.Sprintf("caf:%d:%s", v.T.ID(), name), n, members),
+		v:  v,
+	}
+}
+
+// Local returns this image's own slab.
+func (c *Coarray) Local(im *Image) []float64 { return pgas.Local(c.co, im.img) }
+
+// Put writes src into the slab of image target (1-based, team of
+// allocation) at offset off — the coarray assignment "A(off:...)[target] =
+// src". One-sided and non-blocking; use SyncMemory or a barrier before the
+// target reads it.
+func (c *Coarray) Put(im *Image, target, off int, src []float64) {
+	pgas.Put(im.img, c.co, c.v.T.GlobalRank(target-1), off, src, pgas.ViaAuto)
+}
+
+// Get reads from the slab of image target (1-based) at offset off into dst,
+// blocking until the data arrives — "dst = A(off:...)[target]".
+func (c *Coarray) Get(im *Image, target, off int, dst []float64) {
+	pgas.Get(im.img, c.co, c.v.T.GlobalRank(target-1), off, dst)
+}
+
+// SyncMemory blocks until all one-sided operations issued by this image
+// have completed (CAF "sync memory").
+func (im *Image) SyncMemory() { im.img.Quiet() }

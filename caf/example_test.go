@@ -1,0 +1,79 @@
+package caf_test
+
+import (
+	"fmt"
+
+	"cafteams/caf"
+)
+
+// Example runs a minimal SPMD program: every image contributes its index to
+// a co_sum over the hierarchy-aware runtime.
+func Example() {
+	_, err := caf.Run(caf.Config{Spec: "8(2)"}, func(im *caf.Image) {
+		x := []float64{float64(im.ThisImage())}
+		im.CoSum(x)
+		if im.ThisImage() == 1 {
+			fmt.Println("sum:", x[0])
+		}
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: sum: 36
+}
+
+// ExampleImage_FormTeam splits the initial team by parity and reduces
+// within each subteam independently.
+func ExampleImage_FormTeam() {
+	_, err := caf.Run(caf.Config{Spec: "8(2)"}, func(im *caf.Image) {
+		tm := im.FormTeam(int64(im.ThisImage()%2) + 1)
+		im.ChangeTeam(tm, func() {
+			x := []float64{1}
+			im.CoSum(x)
+			if im.ThisImage() == 1 && tm.TeamNumber() == 1 {
+				fmt.Println("team size:", x[0])
+			}
+		})
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: team size: 4
+}
+
+// ExampleImage_NewCoarray shows one-sided coarray access: image 1 reads
+// image 2's slab after a barrier.
+func ExampleImage_NewCoarray() {
+	_, err := caf.Run(caf.Config{Spec: "4(2)"}, func(im *caf.Image) {
+		a := im.NewCoarray("A", 1)
+		a.Local(im)[0] = float64(im.ThisImage() * 11)
+		im.SyncAll()
+		if im.ThisImage() == 1 {
+			dst := make([]float64, 1)
+			a.Get(im, 2, 0, dst) // dst = A(1)[2]
+			fmt.Println("read:", dst[0])
+		}
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: read: 22
+}
+
+// ExampleImage_CoBroadcast broadcasts from image 3 to the whole team.
+func ExampleImage_CoBroadcast() {
+	_, err := caf.Run(caf.Config{Spec: "8(2)"}, func(im *caf.Image) {
+		buf := make([]float64, 1)
+		if im.ThisImage() == 3 {
+			buf[0] = 42
+		}
+		im.CoBroadcast(buf, 3)
+		if im.ThisImage() == 8 {
+			fmt.Println("got:", buf[0])
+		}
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: got: 42
+}

@@ -1,0 +1,67 @@
+// Command caftopo inspects a placement: it prints the node/socket layout,
+// the per-team intranode sets and leaders the hierarchy-aware runtime would
+// use, and the effective collective policy — the runtime introspection the
+// paper's methodology (§IV-A, "detecting the images within a team that run
+// locally on the same node") is built on.
+//
+// Usage:
+//
+//	caftopo [-spec images(nodes)] [-teams n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cafteams/internal/machine"
+	"cafteams/internal/pgas"
+	"cafteams/internal/sim"
+	"cafteams/internal/team"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+func main() {
+	spec := flag.String("spec", "64(8)", "placement, \"images(nodes)\"")
+	teams := flag.Int("teams", 2, "split the initial team into this many round-robin teams")
+	flag.Parse()
+
+	topo, err := topology.ParseSpec(*spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caftopo:", err)
+		os.Exit(1)
+	}
+	fmt.Println("topology:", topo)
+	for _, n := range topo.UsedNodes() {
+		fmt.Printf("  node %2d: images %v\n", n, topo.ImagesOnNode(n))
+	}
+
+	w, err := pgas.NewWorld(sim.NewEnv(), machine.PaperCluster(), topo, trace.New())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caftopo:", err)
+		os.Exit(1)
+	}
+	k := *teams
+	w.Run(func(im *pgas.Image) {
+		v := team.Initial(w, im)
+		sub := v.Form(int64(im.Rank()%k)+1, -1)
+		// The first member of each team describes it.
+		if sub.ThisImage() == 0 {
+			t := sub.T
+			fmt.Printf("\nteam number %d: %s\n", t.Number(), t)
+			for gi := 0; gi < t.NumNodeGroups(); gi++ {
+				grp := t.NodeGroup(gi)
+				globals := make([]int, len(grp))
+				for i, r := range grp {
+					globals[i] = t.GlobalRank(r)
+				}
+				fmt.Printf("  intranode set on node %2d: team ranks %v (images %v), leader = team rank %d\n",
+					t.Nodes()[gi], grp, globals, t.Leaders()[gi])
+				for si, sg := range t.SocketGroups(gi) {
+					fmt.Printf("    socket %d: team ranks %v, socket leader %d\n", si, sg, t.SocketLeaders(gi)[si])
+				}
+			}
+		}
+	})
+}

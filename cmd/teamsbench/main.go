@@ -1,0 +1,191 @@
+// Command teamsbench runs the Teams Microbenchmark suite (the paper's
+// benchmark (1)): team barrier, all-to-all reduction and one-to-all
+// broadcast latencies across placements and comparator stacks, reproducing
+// experiments E1-E4 plus the E6/E7 ablations. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Usage:
+//
+//	teamsbench [-exp e1|e2|e3|e4|e6|e7|all] [-iters N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cafteams/internal/bench"
+	"cafteams/internal/coll"
+	"cafteams/internal/core"
+	"cafteams/internal/machine"
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: e1, e2, e3, e4, e6, e7 or all")
+	iters := flag.Int("iters", 10, "episodes per measurement")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	run := func(name string, fn func(iters int) []bench.Point, title, ref string) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		pts := fn(*iters)
+		if *csv {
+			bench.CSV(os.Stdout, pts)
+			return
+		}
+		bench.Table(os.Stdout, title, pts, ref)
+		fmt.Println()
+	}
+
+	run("e1", e1, "E1: barrier on a flat hierarchy (1 image/node) — TDLB vs dissemination parity", "GASNet RDMA dissemination")
+	run("e2", e2, "E2: barrier with 8 images/node — TDLB vs the comparator stacks (paper: up to 26x over the UHCAF baseline)", "TDLB (2-level)")
+	run("e3", e3, "E3: all-to-all reduction with 8 images/node (paper: up to 74x)", "two-level reduction")
+	run("e4", e4, "E4: one-to-all broadcast with 8 images/node (paper: up to 3x)", "two-level broadcast")
+	run("e6", e6, "E6: ablation — intra-node x inter-node strategy choices for the team barrier", "TDLB: linear intra + dissemination inter")
+	run("e7", e7, "E7: multi-level extension — socket-aware 3-level barrier (paper future work)", "2-level (TDLB)")
+}
+
+func must(p bench.Point, err error) bench.Point {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teamsbench:", err)
+		os.Exit(1)
+	}
+	return p
+}
+
+// e1: one image per node; TDLB degenerates to dissemination.
+func e1(iters int) []bench.Point {
+	var pts []bench.Point
+	cmps := bench.Comparators(bench.Barrier)
+	for _, spec := range []string{"4(4)", "8(8)", "16(16)", "32(32)", "44(44)"} {
+		for _, c := range cmps {
+			if c.Name == "TDLB (2-level)" || c.Name == "GASNet RDMA dissemination" {
+				pts = append(pts, must(bench.Measure(spec, c, 1, iters)))
+			}
+		}
+	}
+	return pts
+}
+
+// e2: the paper's dense placement, full comparator set.
+func e2(iters int) []bench.Point {
+	var pts []bench.Point
+	for _, spec := range []string{"16(2)", "64(8)", "128(16)", "256(32)", "352(44)"} {
+		for _, c := range bench.Comparators(bench.Barrier) {
+			pts = append(pts, must(bench.Measure(spec, c, 1, iters)))
+		}
+	}
+	return pts
+}
+
+func e3(iters int) []bench.Point {
+	var pts []bench.Point
+	for _, spec := range []string{"64(8)", "352(44)"} {
+		for _, elems := range []int{8, 128, 1024} {
+			for _, c := range bench.Comparators(bench.Reduce) {
+				p := must(bench.Measure(spec, c, elems, iters))
+				p.Comparator = fmt.Sprintf("%s [%d elems]", p.Comparator, elems)
+				pts = append(pts, p)
+			}
+		}
+	}
+	return pts
+}
+
+func e4(iters int) []bench.Point {
+	var pts []bench.Point
+	for _, spec := range []string{"64(8)", "352(44)"} {
+		for _, elems := range []int{8, 128, 1024} {
+			for _, c := range bench.Comparators(bench.Bcast) {
+				p := must(bench.Measure(spec, c, elems, iters))
+				p.Comparator = fmt.Sprintf("%s [%d elems]", p.Comparator, elems)
+				pts = append(pts, p)
+			}
+		}
+	}
+	return pts
+}
+
+// e6: strategy ablation for the barrier.
+func e6(iters int) []bench.Point {
+	strategies := []bench.Comparator{
+		{Name: "TDLB: linear intra + dissemination inter", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, it int) {
+				for i := 0; i < it; i++ {
+					core.BarrierTDLB(v)
+				}
+			}},
+		{Name: "TDLL: linear intra + linear inter", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, it int) {
+				for i := 0; i < it; i++ {
+					core.BarrierTDLL(v)
+				}
+			}},
+		{Name: "flat dissemination (no hierarchy)", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, it int) {
+				for i := 0; i < it; i++ {
+					coll.BarrierDissemination(v, pgas.ViaConduit)
+				}
+			}},
+		{Name: "flat linear (no hierarchy)", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, it int) {
+				for i := 0; i < it; i++ {
+					coll.BarrierLinear(v, pgas.ViaConduit)
+				}
+			}},
+		{Name: "flat tournament (no hierarchy)", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, it int) {
+				for i := 0; i < it; i++ {
+					coll.BarrierTournament(v, pgas.ViaConduit)
+				}
+			}},
+		{Name: "flat binomial tree (no hierarchy)", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, it int) {
+				for i := 0; i < it; i++ {
+					coll.BarrierTree(v, pgas.ViaConduit)
+				}
+			}},
+	}
+	var pts []bench.Point
+	for _, spec := range []string{"64(8)", "352(44)"} {
+		for _, c := range strategies {
+			pts = append(pts, must(bench.Measure(spec, c, 1, iters)))
+		}
+	}
+	return pts
+}
+
+// e7: 3-level (socket-aware) extension.
+func e7(iters int) []bench.Point {
+	levels := []bench.Comparator{
+		{Name: "2-level (TDLB)", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, it int) {
+				for i := 0; i < it; i++ {
+					core.BarrierTDLB(v)
+				}
+			}},
+		{Name: "3-level (TDLB3, socket-aware)", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, it int) {
+				for i := 0; i < it; i++ {
+					core.BarrierTDLB3(v)
+				}
+			}},
+		{Name: "flat dissemination", Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, _ []float64, it int) {
+				for i := 0; i < it; i++ {
+					coll.BarrierDissemination(v, pgas.ViaConduit)
+				}
+			}},
+	}
+	var pts []bench.Point
+	for _, spec := range []string{"64(8)", "176(22)", "352(44)"} {
+		for _, c := range levels {
+			pts = append(pts, must(bench.Measure(spec, c, 1, iters)))
+		}
+	}
+	return pts
+}

@@ -1,0 +1,229 @@
+// Package bench is the Teams Microbenchmark harness (the paper's benchmark
+// suite (1), §V-A): it measures team collective latencies across image
+// counts, placements, comparator stacks and algorithms, and renders the
+// paper-style tables. cmd/teamsbench and the repository's bench_test.go
+// drive it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cafteams/internal/coll"
+	"cafteams/internal/core"
+	"cafteams/internal/machine"
+	"cafteams/internal/pgas"
+	"cafteams/internal/sim"
+	"cafteams/internal/team"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// Collective names a benchmarked operation.
+type Collective int
+
+// Benchmarked collectives.
+const (
+	Barrier Collective = iota
+	Reduce
+	Bcast
+)
+
+func (c Collective) String() string {
+	switch c {
+	case Barrier:
+		return "barrier"
+	case Reduce:
+		return "reduction"
+	case Bcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("collective(%d)", int(c))
+	}
+}
+
+// Comparator is one (algorithm, conduit) implementation under test —
+// matching the comparison set of the paper's §V-A.
+type Comparator struct {
+	Name    string
+	Conduit machine.Conduit
+	// Run performs iters episodes of the collective on the team.
+	Run func(v *team.View, buf []float64, iters int)
+}
+
+// Comparators returns the paper's comparator set for the given collective:
+// TDLB/two-level (the contribution), the old-runtime AM dissemination
+// baseline, GASNet-RDMA and IB-verbs flat dissemination, MPI flat and
+// hierarchical, and the centralized linear scheme.
+func Comparators(c Collective) []Comparator {
+	flatBarrier := func(v *team.View, _ []float64, iters int) {
+		for i := 0; i < iters; i++ {
+			coll.BarrierDissemination(v, pgas.ViaConduit)
+		}
+	}
+	switch c {
+	case Barrier:
+		return []Comparator{
+			{Name: "TDLB (2-level)", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, _ []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					core.BarrierTDLB(v)
+				}
+			}},
+			{Name: "UHCAF dissemination (AM)", Conduit: machine.ConduitGASNetAM, Run: flatBarrier},
+			{Name: "GASNet RDMA dissemination", Conduit: machine.ConduitGASNetRDMA, Run: flatBarrier},
+			{Name: "GASNet IB dissemination", Conduit: machine.ConduitGASNetIBV, Run: flatBarrier},
+			{Name: "MPI dissemination", Conduit: machine.ConduitMPI, Run: flatBarrier},
+			{Name: "MPI hierarchical", Conduit: machine.ConduitMPI, Run: func(v *team.View, _ []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					core.BarrierTDLB(v)
+				}
+			}},
+			{Name: "linear (centralized)", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, _ []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					coll.BarrierLinear(v, pgas.ViaConduit)
+				}
+			}},
+		}
+	case Reduce:
+		return []Comparator{
+			{Name: "two-level reduction", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					core.AllreduceTwoLevel(v, buf, coll.Sum)
+				}
+			}},
+			{Name: "UHCAF linear (AM)", Conduit: machine.ConduitGASNetAM, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					coll.AllreduceLinear(v, buf, coll.Sum, pgas.ViaConduit)
+				}
+			}},
+			{Name: "flat recursive doubling", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					coll.AllreduceRD(v, buf, coll.Sum, pgas.ViaConduit)
+				}
+			}},
+			{Name: "flat binomial tree", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					coll.AllreduceTree(v, buf, coll.Sum, pgas.ViaConduit)
+				}
+			}},
+			{Name: "ring allreduce", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					coll.AllreduceRing(v, buf, coll.Sum, pgas.ViaConduit)
+				}
+			}},
+		}
+	case Bcast:
+		return []Comparator{
+			{Name: "two-level broadcast", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					core.BcastTwoLevel(v, 0, buf)
+				}
+			}},
+			{Name: "UHCAF binomial (AM)", Conduit: machine.ConduitGASNetAM, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					coll.BcastBinomial(v, 0, buf, pgas.ViaConduit)
+				}
+			}},
+			{Name: "flat binomial", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					coll.BcastBinomial(v, 0, buf, pgas.ViaConduit)
+				}
+			}},
+			{Name: "scatter-allgather", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					coll.BcastScatterAllgather(v, 0, buf, pgas.ViaConduit)
+				}
+			}},
+			{Name: "linear (centralized)", Conduit: machine.ConduitGASNetRDMA, Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					coll.BcastLinear(v, 0, buf, pgas.ViaConduit)
+				}
+			}},
+		}
+	}
+	return nil
+}
+
+// Point is one measured cell: mean latency per episode.
+type Point struct {
+	Spec       string
+	Comparator string
+	Elems      int
+	Latency    sim.Time
+	IntraMsgs  int64
+	InterMsgs  int64
+}
+
+// Measure runs one comparator on one placement and returns the mean
+// episode latency and message counts per episode.
+func Measure(spec string, cmp Comparator, elems, iters int) (Point, error) {
+	topo, err := topology.ParseSpec(spec)
+	if err != nil {
+		return Point{}, err
+	}
+	model := machine.PaperCluster().WithConduit(cmp.Conduit)
+	stats := trace.New()
+	w, err := pgas.NewWorld(sim.NewEnv(), model, topo, stats)
+	if err != nil {
+		return Point{}, err
+	}
+	end := w.Run(func(im *pgas.Image) {
+		v := team.Initial(w, im)
+		buf := make([]float64, elems)
+		cmp.Run(v, buf, iters)
+	})
+	sn := stats.Snapshot()
+	return Point{
+		Spec:       spec,
+		Comparator: cmp.Name,
+		Elems:      elems,
+		Latency:    end / sim.Time(iters),
+		IntraMsgs:  sn.IntraMsgs / int64(iters),
+		InterMsgs:  sn.InterMsgs / int64(iters),
+	}, nil
+}
+
+// Table renders measurement points grouped by placement spec as an aligned
+// text table with a ratio column relative to the named reference
+// comparator.
+func Table(w io.Writer, title string, points []Point, reference string) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	bySpec := map[string][]Point{}
+	var specs []string
+	for _, p := range points {
+		if _, ok := bySpec[p.Spec]; !ok {
+			specs = append(specs, p.Spec)
+		}
+		bySpec[p.Spec] = append(bySpec[p.Spec], p)
+	}
+	sort.SliceStable(specs, func(i, j int) bool { return false }) // preserve insertion order
+	for _, spec := range specs {
+		pts := bySpec[spec]
+		var ref sim.Time
+		for _, p := range pts {
+			if p.Comparator == reference {
+				ref = p.Latency
+			}
+		}
+		fmt.Fprintf(w, "\nimages(nodes) = %s\n", spec)
+		fmt.Fprintf(w, "  %-28s %14s %10s %10s %10s\n", "implementation", "latency/op", "vs ref", "intra/op", "inter/op")
+		for _, p := range pts {
+			ratio := "-"
+			if ref > 0 && p.Latency > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(p.Latency)/float64(ref))
+			}
+			fmt.Fprintf(w, "  %-28s %11.2f us %10s %10d %10d\n",
+				p.Comparator, float64(p.Latency)/1000, ratio, p.IntraMsgs, p.InterMsgs)
+		}
+	}
+}
+
+// CSV renders points as comma-separated values.
+func CSV(w io.Writer, points []Point) {
+	fmt.Fprintln(w, "spec,comparator,elems,latency_ns,intra_msgs,inter_msgs")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s,%q,%d,%d,%d,%d\n", p.Spec, p.Comparator, p.Elems, p.Latency, p.IntraMsgs, p.InterMsgs)
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cafteams/internal/sim"
+)
+
+func TestComparatorSetsNonEmpty(t *testing.T) {
+	for _, c := range []Collective{Barrier, Reduce, Bcast} {
+		cmps := Comparators(c)
+		if len(cmps) < 4 {
+			t.Fatalf("%v: only %d comparators", c, len(cmps))
+		}
+		names := map[string]bool{}
+		for _, cmp := range cmps {
+			if cmp.Name == "" || cmp.Run == nil {
+				t.Fatalf("%v: malformed comparator %+v", c, cmp)
+			}
+			if names[cmp.Name] {
+				t.Fatalf("%v: duplicate comparator %q", c, cmp.Name)
+			}
+			names[cmp.Name] = true
+		}
+	}
+}
+
+func TestCollectiveString(t *testing.T) {
+	if Barrier.String() != "barrier" || Reduce.String() != "reduction" || Bcast.String() != "broadcast" {
+		t.Fatal("names wrong")
+	}
+	if Collective(9).String() == "" {
+		t.Fatal("unknown collective must stringify")
+	}
+}
+
+func TestMeasureBarrier(t *testing.T) {
+	for _, cmp := range Comparators(Barrier) {
+		p, err := Measure("16(2)", cmp, 1, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", cmp.Name, err)
+		}
+		if p.Latency <= 0 {
+			t.Fatalf("%s: zero latency", cmp.Name)
+		}
+		if p.IntraMsgs+p.InterMsgs == 0 {
+			t.Fatalf("%s: no messages", cmp.Name)
+		}
+	}
+}
+
+func TestMeasureBadSpec(t *testing.T) {
+	if _, err := Measure("nope", Comparators(Barrier)[0], 1, 1); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestTDLBBeatsAMBaseline(t *testing.T) {
+	cmps := Comparators(Barrier)
+	tdlb, err := Measure("64(8)", cmps[0], 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := Measure("64(8)", cmps[1], 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdlb.Latency*4 >= am.Latency {
+		t.Fatalf("TDLB %d ns should beat AM baseline %d ns by >4x at 8 images/node",
+			tdlb.Latency, am.Latency)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []Point{
+		{Spec: "16(2)", Comparator: "a", Latency: 10 * sim.Microsecond, IntraMsgs: 3, InterMsgs: 4},
+		{Spec: "16(2)", Comparator: "b", Latency: 20 * sim.Microsecond, IntraMsgs: 5, InterMsgs: 6},
+	}
+	Table(&buf, "Demo", pts, "a")
+	out := buf.String()
+	for _, want := range []string{"Demo", "16(2)", "2.00x", "10.00 us", "intra/op"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	var buf bytes.Buffer
+	CSV(&buf, []Point{{Spec: "4(4)", Comparator: "x", Elems: 8, Latency: 123, IntraMsgs: 1, InterMsgs: 2}})
+	out := buf.String()
+	if !strings.Contains(out, "spec,comparator") || !strings.Contains(out, `4(4),"x",8,123,1,2`) {
+		t.Fatalf("csv = %q", out)
+	}
+}

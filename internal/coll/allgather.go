@@ -1,0 +1,49 @@
+package coll
+
+import (
+	"fmt"
+
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// AllgatherRing gathers every member's mine vector into out on every
+// member, ordered by team rank (out must hold NumImages()*len(mine)
+// elements) — the ring algorithm: n−1 steps, each member forwarding the
+// block it received in the previous step. This is the communication pattern
+// behind MPI_Allgather's large-message path and the cost model used for
+// team formation.
+//
+// Like the ring all-reduce, skew around the ring can reach n−1 steps, so
+// every step gets its own parity-indexed landing region.
+func AllgatherRing(v *team.View, mine, out []float64, via pgas.Via) {
+	sz := v.NumImages()
+	n := len(mine)
+	if len(out) < sz*n {
+		panic(fmt.Sprintf("coll: allgather out %d < %d", len(out), sz*n))
+	}
+	v.Img.World().Stats().Count(trace.OpReduce)
+	copy(out[v.Rank*n:], mine)
+	if sz == 1 {
+		return
+	}
+	steps := sz - 1
+	st := getState(v, "ag.ring."+via.String(), steps)
+	ep := st.next(v.Rank)
+	co, cap_ := scratch(v, "ag.ring", n, 2*steps)
+	parity := int(ep % 2)
+	region := func(s int) int { return (parity*steps + s) * cap_ }
+	me := v.Img
+	r := v.Rank
+	next := v.T.GlobalRank((r + 1) % sz)
+	for s := 0; s < steps; s++ {
+		sendB := ((r-s)%sz + sz) % sz
+		recvB := ((r-s-1)%sz + sz) % sz
+		reg := region(s)
+		pgas.PutThenNotify(me, co, next, reg, out[sendB*n:sendB*n+n], st.flags, s, 1, via)
+		me.WaitFlagGE(st.flags, me.Rank(), s, ep)
+		copy(out[recvB*n:recvB*n+n], pgas.Local(co, me)[reg:reg+n])
+		me.MemWork(8 * n)
+	}
+}

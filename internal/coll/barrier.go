@@ -1,0 +1,140 @@
+package coll
+
+import (
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// BarrierDissemination is the classic dissemination barrier (Hensgen,
+// Finkel, Manber; Mellor-Crummey & Scott) over one-sided puts: in round k,
+// image r notifies image (r + 2^k) mod n and waits for its own round-k flag.
+// n·ceil(log2 n) notifications total. This is the algorithm the paper's
+// baseline UHCAF runtime uses for every barrier, regardless of placement.
+func BarrierDissemination(v *team.View, via pgas.Via) {
+	n := v.NumImages()
+	v.Img.World().Stats().Count(trace.OpBarrier)
+	if n == 1 {
+		return
+	}
+	st := getState(v, "bar.diss."+via.String(), rounds(n))
+	ep := st.next(v.Rank)
+	for k := 0; 1<<k < n; k++ {
+		partner := (v.Rank + 1<<k) % n
+		v.Img.NotifyAdd(st.flags, v.T.GlobalRank(partner), k, 1, via)
+		v.Img.WaitFlagGE(st.flags, v.Img.Rank(), k, ep)
+	}
+}
+
+// BarrierLinear is the centralized linear barrier the paper contrasts with
+// dissemination: 2(n−1) notifications, all serialized through the first
+// team member. Slot 0 counts arrivals at the root; slot 1 carries the
+// release stamp.
+func BarrierLinear(v *team.View, via pgas.Via) {
+	n := v.NumImages()
+	v.Img.World().Stats().Count(trace.OpBarrier)
+	if n == 1 {
+		return
+	}
+	st := getState(v, "bar.lin."+via.String(), 2)
+	ep := st.next(v.Rank)
+	root := v.T.GlobalRank(0)
+	if v.Rank == 0 {
+		v.Img.WaitFlagGE(st.flags, root, 0, ep*int64(n-1))
+		for r := 1; r < n; r++ {
+			v.Img.NotifySet(st.flags, v.T.GlobalRank(r), 1, ep, via)
+		}
+		return
+	}
+	v.Img.NotifyAdd(st.flags, root, 0, 1, via)
+	v.Img.WaitFlagGE(st.flags, v.Img.Rank(), 1, ep)
+}
+
+// BarrierTree is a binomial-tree barrier: gather up the tree (each internal
+// node waits for its children), release back down. 2(n−1) messages like the
+// linear barrier, but logarithmic depth and no single hot spot.
+// Slot 0 counts child arrivals; slot 1 carries the release stamp.
+func BarrierTree(v *team.View, via pgas.Via) {
+	n := v.NumImages()
+	v.Img.World().Stats().Count(trace.OpBarrier)
+	if n == 1 {
+		return
+	}
+	st := getState(v, "bar.tree."+via.String(), 2)
+	ep := st.next(v.Rank)
+	r := v.Rank
+	kids := binomialChildren(r, n)
+	if len(kids) > 0 {
+		v.Img.WaitFlagGE(st.flags, v.Img.Rank(), 0, ep*int64(len(kids)))
+	}
+	if r != 0 {
+		parent := r - (r & -r)
+		v.Img.NotifyAdd(st.flags, v.T.GlobalRank(parent), 0, 1, via)
+		v.Img.WaitFlagGE(st.flags, v.Img.Rank(), 1, ep)
+	}
+	for _, c := range kids {
+		v.Img.NotifySet(st.flags, v.T.GlobalRank(c), 1, ep, via)
+	}
+}
+
+// binomialChildren returns the children of rank r in a binomial tree of n
+// ranks rooted at 0: r + 2^k for each k below the position of r's lowest
+// set bit (all k for the root).
+func binomialChildren(r, n int) []int {
+	var kids []int
+	limit := r & -r
+	if r == 0 {
+		limit = 1 << 30
+	}
+	for k := 0; 1<<k < limit && r+1<<k < n; k++ {
+		kids = append(kids, r+1<<k)
+	}
+	return kids
+}
+
+// BarrierTournament is the tournament barrier of Mellor-Crummey & Scott:
+// statically paired rounds where the "loser" notifies the "winner" and
+// waits; the champion starts a logarithmic release wave. Arrival uses one
+// flag slot per round; release uses one slot per round offset by the round
+// count.
+func BarrierTournament(v *team.View, via pgas.Via) {
+	n := v.NumImages()
+	v.Img.World().Stats().Count(trace.OpBarrier)
+	if n == 1 {
+		return
+	}
+	nr := rounds(n)
+	st := getState(v, "bar.tour."+via.String(), 2*nr)
+	ep := st.next(v.Rank)
+	r := v.Rank
+	lost := -1
+	for k := 0; 1<<k < n; k++ {
+		if r%(1<<(k+1)) != 0 {
+			// Loser: report to the winner and stop advancing.
+			winner := r - 1<<k
+			v.Img.NotifyAdd(st.flags, v.T.GlobalRank(winner), k, 1, via)
+			lost = k
+			break
+		}
+		partner := r + 1<<k
+		if partner < n {
+			v.Img.WaitFlagGE(st.flags, v.Img.Rank(), k, ep)
+		}
+	}
+	if lost >= 0 {
+		v.Img.WaitFlagGE(st.flags, v.Img.Rank(), nr+lost, ep)
+	}
+	// Wake everyone we beat, in reverse round order.
+	start := nr - 1
+	if lost >= 0 {
+		start = lost - 1
+	}
+	for k := start; k >= 0; k-- {
+		if r%(1<<(k+1)) == 0 {
+			partner := r + 1<<k
+			if partner < n {
+				v.Img.NotifySet(st.flags, v.T.GlobalRank(partner), nr+k, ep, via)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package coll implements the *flat* (hierarchy-oblivious) collective
+// algorithms the paper uses as baselines — centralized linear, dissemination,
+// binomial tree and tournament barriers; linear, binomial-tree,
+// recursive-doubling and ring all-to-all reductions; linear, binomial and
+// scatter-allgather broadcasts — plus the plumbing (per-team flag arrays,
+// episode counters, scratch coarrays) shared with the hierarchy-aware
+// algorithms in internal/core.
+//
+// Flat algorithms address every peer uniformly through the portable conduit
+// path (pgas.ViaConduit), exactly like a runtime with no knowledge of which
+// images share a node. Their synchronization uses the "sync_flags carry"
+// idiom: flags are monotone counters and an episode only raises the wait
+// threshold, so each round needs a single wait (the paper's refinement over
+// the two-wait scheme of Hensgen et al.).
+package coll
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+)
+
+// Op combines src into dst element-wise (dst = dst ⊕ src). Operations must
+// be associative and commutative; the runtime may combine partial vectors in
+// any order.
+type Op struct {
+	Name    string
+	Combine func(dst, src []float64)
+}
+
+// Predefined reduction operations (the CAF co_sum, co_max, co_min
+// intrinsics).
+var (
+	Sum = Op{Name: "sum", Combine: func(dst, src []float64) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	}}
+	Max = Op{Name: "max", Combine: func(dst, src []float64) {
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}}
+	Min = Op{Name: "min", Combine: func(dst, src []float64) {
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}}
+)
+
+// state is the per-(team, algorithm) collective state: a flag array and
+// per-member episode counters. Each image only writes its own entries.
+type state struct {
+	flags *pgas.Flags
+	ep    []int64
+	// aux tracks, per member, how many notifications the member should
+	// have received on a role-dependent slot. When an image's role varies
+	// between episodes (it is sometimes the broadcast root), the episode
+	// number over-counts; aux counts exactly.
+	aux []int64
+	// ackExpect[p][r] is member r's cumulative expected ack count on the
+	// parity-p ack slot (credit-based flow control for broadcasts; see
+	// SubgroupBcastBinomial).
+	ackExpect [2][]int64
+	// payExpect[p][r] is member r's cumulative expected payload-arrival
+	// count on the parity-p payload slot.
+	payExpect [2][]int64
+	// slotExpect[r][s] is member r's cumulative expected arrival count on
+	// flag slot s, for algorithms whose communication tree varies with
+	// the root (each member counts exactly the arrivals its role in each
+	// episode entitles it to).
+	slotExpect [][]int64
+}
+
+// getState returns the shared state for one algorithm instance on a team.
+func getState(v *team.View, alg string, slots int) *state {
+	w := v.Img.World()
+	key := fmt.Sprintf("coll:%s:team%d", alg, v.T.ID())
+	return pgas.LookupOrCreate(w, key, func() interface{} {
+		s := &state{
+			flags: pgas.NewFlags(w, key, slots),
+			ep:    make([]int64, v.T.Size()),
+			aux:   make([]int64, v.T.Size()),
+		}
+		s.ackExpect[0] = make([]int64, v.T.Size())
+		s.ackExpect[1] = make([]int64, v.T.Size())
+		s.payExpect[0] = make([]int64, v.T.Size())
+		s.payExpect[1] = make([]int64, v.T.Size())
+		s.slotExpect = make([][]int64, v.T.Size())
+		for i := range s.slotExpect {
+			s.slotExpect[i] = make([]int64, slots)
+		}
+		return s
+	}).(*state)
+}
+
+// next increments and returns the caller's episode counter.
+func (s *state) next(rank int) int64 {
+	s.ep[rank]++
+	return s.ep[rank]
+}
+
+// rounds returns ceil(log2 n): the number of dissemination /
+// recursive-doubling rounds for n participants.
+func rounds(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// floorPow2 returns the largest power of two <= n.
+func floorPow2(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1 << (bits.Len(uint(n)) - 1)
+}
+
+// bucket rounds n up to a power of two for scratch sizing, so repeated calls
+// with varying lengths reuse one allocation per size class.
+func bucket(n int) int {
+	if n <= 16 {
+		return 16
+	}
+	if n&(n-1) == 0 {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// scratch returns a team-wide float64 scratch coarray of at least elems
+// elements per region, with regions regions (rounds, parity buffers...),
+// allocated per size class.
+func scratch(v *team.View, alg string, elems, regions int) (*pgas.Coarray[float64], int) {
+	cap_ := bucket(elems)
+	name := fmt.Sprintf("coll:%s:team%d:cap%d", alg, v.T.ID(), cap_)
+	w := v.Img.World()
+	members := make([]int, v.T.Size())
+	copy(members, v.T.Members())
+	co := pgas.NewTeamCoarray[float64](w, name, cap_*regions, members)
+	return co, cap_
+}
+
+// rootScratch returns a scratch slab allocated only on the team's root image
+// (for linear gathers: the root needs n regions, nobody else needs any).
+func rootScratch(v *team.View, alg string, elems, regions int) (*pgas.Coarray[float64], int) {
+	cap_ := bucket(elems)
+	name := fmt.Sprintf("coll:%s:team%d:root:cap%d", alg, v.T.ID(), cap_)
+	w := v.Img.World()
+	co := pgas.NewTeamCoarray[float64](w, name, cap_*regions, []int{v.T.GlobalRank(0)})
+	return co, cap_
+}

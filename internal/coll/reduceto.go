@@ -1,0 +1,75 @@
+package coll
+
+import (
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// SubgroupReduceToRoot reduces the participants' vectors onto the
+// rootIdx-th member of group along a binomial tree; only the root's buf
+// holds the result on return (the CAF co_sum(result_image=...) semantics).
+//
+// Unlike all-to-all reductions, a reduce-to-one has no downward data flow
+// to throttle buffer reuse, and the tree shape changes with the root, so
+// the protocol keys everything by *sender*: each member owns one arrival
+// flag slot and one parity-pair of landing regions at every other member
+// (single writer per slot and region; per-pair FIFO delivery makes the
+// counters exact). A parent credits each child after combining — on a slot
+// identifying the parent and parity, because only same-parity sends to the
+// *same* parent reuse a landing region — and a child may not ship a
+// contribution before the credit for its previous same-parity send to that
+// parent arrived. Memory note: the scratch is 2·|group| regions per member,
+// so prefer modest group sizes for large vectors (the two-level runtime
+// only ever passes node-leader groups here).
+//
+// Flag layout: slots [0, g) sender arrivals; slot g+2·p+parity the credit
+// from parent p.
+func SubgroupReduceToRoot(v *team.View, group []int, myIdx, rootIdx int, buf []float64, op Op, alg string, via pgas.Via) {
+	g := len(group)
+	if g == 1 {
+		return
+	}
+	n := len(buf)
+	st := getState(v, alg+".redto", 3*g)
+	ep := st.next(v.Rank)
+	co, cap_ := scratch(v, alg+".redto", n, 2*g)
+	parity := int(ep % 2)
+	region := func(senderIdx int) int { return (parity*g + senderIdx) * cap_ }
+	me := v.Img
+	rel := (myIdx - rootIdx + g) % g
+	globalOf := func(idx int) int { return v.T.GlobalRank(group[idx]) }
+
+	// Children in the relative binomial tree (same shape as the gather of
+	// AllreduceTree): rel's children are rel+2^k for k below rel's lowest
+	// set bit. Deepest subtree first.
+	kids := binomialChildren(rel, g)
+	for i := len(kids) - 1; i >= 0; i-- {
+		kidIdx := (kids[i] + rootIdx) % g
+		st.slotExpect[v.Rank][kidIdx]++
+		me.WaitFlagGE(st.flags, me.Rank(), kidIdx, st.slotExpect[v.Rank][kidIdx])
+		off := region(kidIdx)
+		op.Combine(buf, pgas.Local(co, me)[off:off+n])
+		me.MemWork(16 * n)
+		// Credit the child: its parity-e landing region here is free.
+		me.NotifyAdd(st.flags, globalOf(kidIdx), g+2*myIdx+parity, 1, via)
+	}
+	if rel == 0 {
+		return
+	}
+	// Gate on the credit for my previous same-parity send to this parent.
+	parentIdx := (rel - (rel & -rel) + rootIdx) % g
+	creditSlot := g + 2*parentIdx + parity
+	st.slotExpect[v.Rank][creditSlot]++
+	if sends := st.slotExpect[v.Rank][creditSlot]; sends > 1 {
+		me.WaitFlagGE(st.flags, me.Rank(), creditSlot, sends-1)
+	}
+	pgas.PutThenNotify(me, co, globalOf(parentIdx), region(myIdx), buf, st.flags, myIdx, 1, via)
+}
+
+// ReduceToRoot is the flat binomial reduce-to-one over the whole team;
+// root is a team rank.
+func ReduceToRoot(v *team.View, root int, buf []float64, op Op, via pgas.Via) {
+	v.Img.World().Stats().Count(trace.OpReduce)
+	SubgroupReduceToRoot(v, teamRanks(v), v.Rank, root, buf, op, "redto.flat."+op.Name+"."+via.String(), via)
+}

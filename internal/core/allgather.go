@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// AllgatherTwoLevel gathers every member's mine vector into out on every
+// member (ordered by team rank) with the two-level methodology: intranode
+// sets gather at their node leader over shared memory, the leaders run a
+// ring allgather of whole node-blocks over the network, and each leader
+// fans the assembled vector out to its intranode set over shared memory.
+//
+// Flag layout: slot 0 intranode arrivals at the leader, slot 1 the leader's
+// release, slots 2.. the leaders' ring steps.
+func AllgatherTwoLevel(v *team.View, mine, out []float64) {
+	t := v.T
+	sz := t.Size()
+	n := len(mine)
+	if len(out) < sz*n {
+		panic(fmt.Sprintf("core: allgather out %d < %d", len(out), sz*n))
+	}
+	v.Img.World().Stats().Count(trace.OpReduce)
+	copy(out[v.Rank*n:], mine)
+	if sz == 1 {
+		return
+	}
+	alg := "ag2"
+	nLeaders := len(t.Leaders())
+	steps := nLeaders - 1
+	w := v.Img.World()
+	key := fmt.Sprintf("core:%s:team%d", alg, t.ID())
+	st := pgas.LookupOrCreate(w, key, func() interface{} {
+		s := &redState{
+			flags:   pgas.NewFlags(w, key, 2+steps),
+			ep:      make([]int64, sz),
+			expect0: make([]int64, sz),
+			expect1: make([]int64, sz),
+		}
+		s.ackExpect[0] = make([]int64, sz)
+		s.ackExpect[1] = make([]int64, sz)
+		return s
+	}).(*redState)
+	st.ep[v.Rank]++
+	ep := st.ep[v.Rank]
+	parity := int(ep % 2)
+
+	// Scratch: the full gathered vector per parity (landing area for the
+	// fan-out and the leaders' ring blocks, addressed by team rank), plus
+	// per-ring-step regions sized to the largest node block.
+	maxGroup := 1
+	for gi := 0; gi < t.NumNodeGroups(); gi++ {
+		if g := len(t.NodeGroup(gi)); g > maxGroup {
+			maxGroup = g
+		}
+	}
+	cap_ := 16
+	for cap_ < n {
+		cap_ <<= 1
+	}
+	full := cap_ * sz
+	stepRegion := cap_ * maxGroup
+	name := fmt.Sprintf("core:%s:team%d:cap%d", alg, t.ID(), cap_)
+	members := make([]int, sz)
+	copy(members, t.Members())
+	co := pgas.NewTeamCoarray[float64](w, name, 2*(full+steps*stepRegion), members)
+	base := parity * (full + steps*stepRegion)
+	me := v.Img
+	leader := t.LeaderOf(v.Rank)
+	gi := t.GroupOf(v.Rank)
+	group := t.NodeGroup(gi)
+
+	if v.Rank != leader {
+		// Contribute to the leader's assembled area at my rank's slot.
+		pgas.PutThenNotify(me, co, t.GlobalRank(leader), base+v.Rank*cap_, mine, st.flags, 0, 1, pgas.ViaShm)
+		me.WaitFlagGE(st.flags, me.Rank(), 1, ep)
+		local := pgas.Local(co, me)
+		for r := 0; r < sz; r++ {
+			copy(out[r*n:r*n+n], local[base+r*cap_:base+r*cap_+n])
+		}
+		me.MemWork(8 * n * sz)
+		return
+	}
+	// Leader: collect the node block.
+	local := pgas.Local(co, me)
+	copy(local[base+v.Rank*cap_:base+v.Rank*cap_+n], mine)
+	if len(group) > 1 {
+		me.WaitFlagGE(st.flags, me.Rank(), 0, ep*int64(len(group)-1))
+	}
+	// Ring allgather of node blocks among leaders. Each step forwards one
+	// whole node block (packed rank-slot layout).
+	leaders := t.Leaders()
+	myPos := t.LeaderPos(v.Rank)
+	if steps > 0 {
+		nextPos := (myPos + 1) % nLeaders
+		next := t.GlobalRank(leaders[nextPos])
+		for s := 0; s < steps; s++ {
+			sendPos := ((myPos-s)%nLeaders + nLeaders) % nLeaders
+			recvPos := ((myPos-s-1)%nLeaders + nLeaders) % nLeaders
+			sendGroup := t.NodeGroup(sendPos)
+			reg := base + full + s*stepRegion
+			// Pack the block: contiguous per-member slices.
+			pack := make([]float64, len(sendGroup)*n)
+			for i, r := range sendGroup {
+				copy(pack[i*n:], local[base+r*cap_:base+r*cap_+n])
+			}
+			me.MemWork(8 * len(pack))
+			pgas.PutThenNotify(me, co, next, reg, pack, st.flags, 2+s, 1, pgas.ViaConduit)
+			me.WaitFlagGE(st.flags, me.Rank(), 2+s, ep)
+			recvGroup := t.NodeGroup(recvPos)
+			for i, r := range recvGroup {
+				copy(local[base+r*cap_:base+r*cap_+n], local[reg+i*n:reg+i*n+n])
+			}
+			me.MemWork(8 * len(recvGroup) * n)
+		}
+	}
+	// Fan out the assembled vector to the intranode set.
+	for _, r := range group {
+		if r == v.Rank {
+			continue
+		}
+		pgas.PutThenNotify(me, co, t.GlobalRank(r), base, local[base:base+full], st.flags, 1, 1, pgas.ViaShm)
+	}
+	for r := 0; r < sz; r++ {
+		copy(out[r*n:r*n+n], local[base+r*cap_:base+r*cap_+n])
+	}
+	me.MemWork(8 * n * sz)
+}

@@ -1,0 +1,185 @@
+// Package core implements the paper's primary contribution: the memory
+// hierarchy-aware, team-based runtime methodology for collective operations
+// in a PGAS runtime.
+//
+// The methodology (paper §IV-A) is two-step:
+//
+//  1. detect, within each team, the images that run on the same node (the
+//     "intranode set") and designate a leader per node — internal/team
+//     precomputes this as the team's hierarchy view;
+//  2. run each collective as a two-level composition: an intra-node phase
+//     over shared memory (where a centralized/linear scheme is cheap,
+//     because notifications are loads and stores), and an inter-node phase
+//     among the node leaders only (where a distributed dissemination /
+//     recursive-doubling / binomial scheme fits the message-passing cost
+//     model).
+//
+// The package provides:
+//
+//   - BarrierTDLB — the Team Dissemination Linear Barrier (Algorithm 1);
+//   - AllreduceTwoLevel — the two-level all-to-all reduction;
+//   - BcastTwoLevel — the two-level one-to-all broadcast;
+//   - BarrierTDLB3 / AllreduceThreeLevel — the multi-level (socket-aware)
+//     extension the paper lists as future work;
+//   - Policy — runtime selection between flat and hierarchy-aware
+//     algorithms from the team's hierarchy shape.
+package core
+
+import (
+	"fmt"
+
+	"cafteams/internal/coll"
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// tdlbState holds the TDLB flag array for one team: slot 0 counts intranode
+// arrivals at the node leader (the "cocounter" of Algorithm 1), slot 1
+// carries the leader's release stamp, and slots 2.. are the dissemination
+// round flags used by the leaders.
+type tdlbState struct {
+	flags *pgas.Flags
+	ep    []int64
+}
+
+func getTDLBState(v *team.View, alg string, extra int) *tdlbState {
+	w := v.Img.World()
+	key := fmt.Sprintf("core:%s:team%d", alg, v.T.ID())
+	return pgas.LookupOrCreate(w, key, func() interface{} {
+		return &tdlbState{
+			flags: pgas.NewFlags(w, key, 2+extra),
+			ep:    make([]int64, v.T.Size()),
+		}
+	}).(*tdlbState)
+}
+
+// BarrierTDLB is the Team Dissemination Linear Barrier (paper Algorithm 1),
+// run by every image of the team:
+//
+//	Step 1: the images of each intranode set synchronize with their node
+//	        leader through a linear counter in shared memory
+//	        (linear_counter_1);
+//	Step 2: the node leaders synchronize among themselves with a PGAS
+//	        dissemination barrier over the network (pgased_dissemination);
+//	Step 3: each leader releases its intranode set through shared memory
+//	        (linear_counter_2).
+//
+// With one image per node every image is a leader, both linear phases
+// vanish, and TDLB degenerates to the pure dissemination barrier — the
+// paper's flat-hierarchy parity result (E1).
+func BarrierTDLB(v *team.View) {
+	t := v.T
+	n := t.Size()
+	v.Img.World().Stats().Count(trace.OpBarrier)
+	if n == 1 {
+		return
+	}
+	leaders := t.Leaders()
+	st := getTDLBState(v, "tdlb", disseminationRounds(len(leaders)))
+	st.ep[v.Rank]++
+	ep := st.ep[v.Rank]
+	me := v.Img
+	leader := t.LeaderOf(v.Rank)
+	group := t.NodeGroup(t.GroupOf(v.Rank))
+
+	if v.Rank != leader {
+		// Step 1 (slave side): bump the leader's cocounter, then wait
+		// for the release — both through shared memory.
+		me.NotifyAdd(st.flags, t.GlobalRank(leader), 0, 1, pgas.ViaShm)
+		me.WaitFlagGE(st.flags, me.Rank(), 1, ep)
+		return
+	}
+	// Step 1 (leader side): wait for the intranode set to arrive.
+	if len(group) > 1 {
+		me.WaitFlagGE(st.flags, me.Rank(), 0, ep*int64(len(group)-1))
+	}
+	// Step 2: dissemination among leaders over the conduit.
+	leaderDissemination(v, st, leaders, ep)
+	// Step 3: release the intranode set.
+	for _, r := range group {
+		if r == v.Rank {
+			continue
+		}
+		me.NotifySet(st.flags, t.GlobalRank(r), 1, ep, pgas.ViaShm)
+	}
+}
+
+// leaderDissemination runs the dissemination rounds among the leaders list;
+// the caller must be a leader. Flag slots 2.. hold the round counters.
+func leaderDissemination(v *team.View, st *tdlbState, leaders []int, ep int64) {
+	l := len(leaders)
+	if l == 1 {
+		return
+	}
+	t := v.T
+	me := v.Img
+	myPos := t.LeaderPos(v.Rank)
+	for k := 0; 1<<k < l; k++ {
+		partner := leaders[(myPos+1<<k)%l]
+		me.NotifyAdd(st.flags, t.GlobalRank(partner), 2+k, 1, pgas.ViaConduit)
+		me.WaitFlagGE(st.flags, me.Rank(), 2+k, ep)
+	}
+}
+
+// disseminationRounds returns ceil(log2 n).
+func disseminationRounds(n int) int {
+	r := 0
+	for 1<<r < n {
+		r++
+	}
+	return r
+}
+
+// BarrierTDLL is the ablation variant that uses a *linear* barrier among the
+// node leaders instead of dissemination (experiment E6): intra-node linear,
+// inter-node linear through the first leader.
+func BarrierTDLL(v *team.View) {
+	t := v.T
+	n := t.Size()
+	v.Img.World().Stats().Count(trace.OpBarrier)
+	if n == 1 {
+		return
+	}
+	leaders := t.Leaders()
+	st := getTDLBState(v, "tdll", 2)
+	st.ep[v.Rank]++
+	ep := st.ep[v.Rank]
+	me := v.Img
+	leader := t.LeaderOf(v.Rank)
+	group := t.NodeGroup(t.GroupOf(v.Rank))
+
+	if v.Rank != leader {
+		me.NotifyAdd(st.flags, t.GlobalRank(leader), 0, 1, pgas.ViaShm)
+		me.WaitFlagGE(st.flags, me.Rank(), 1, ep)
+		return
+	}
+	if len(group) > 1 {
+		me.WaitFlagGE(st.flags, me.Rank(), 0, ep*int64(len(group)-1))
+	}
+	// Linear among leaders, rooted at the first leader.
+	rootLeader := leaders[0]
+	if v.Rank == rootLeader {
+		if len(leaders) > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), 2, ep*int64(len(leaders)-1))
+		}
+		for _, lr := range leaders[1:] {
+			me.NotifySet(st.flags, t.GlobalRank(lr), 3, ep, pgas.ViaConduit)
+		}
+	} else {
+		me.NotifyAdd(st.flags, t.GlobalRank(rootLeader), 2, 1, pgas.ViaConduit)
+		me.WaitFlagGE(st.flags, me.Rank(), 3, ep)
+	}
+	for _, r := range group {
+		if r == v.Rank {
+			continue
+		}
+		me.NotifySet(st.flags, t.GlobalRank(r), 1, ep, pgas.ViaShm)
+	}
+}
+
+// BarrierFlatDissemination re-exports the flat baseline so callers comparing
+// the two levels only import core.
+func BarrierFlatDissemination(v *team.View) {
+	coll.BarrierDissemination(v, pgas.ViaConduit)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"cafteams/internal/coll"
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+)
+
+// Level selects how much of the memory hierarchy the runtime exploits.
+type Level int
+
+const (
+	// LevelFlat ignores placement entirely — the paper's baseline
+	// ("one-level") runtime.
+	LevelFlat Level = iota
+	// LevelTwo applies the paper's two-level (node-aware) methodology.
+	LevelTwo
+	// LevelThree additionally splits nodes by socket (the future-work
+	// extension).
+	LevelThree
+	// LevelAuto picks per team: flat when the team has at most one image
+	// per node (the two-level algorithms degenerate to flat there
+	// anyway), two-level otherwise.
+	LevelAuto
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelFlat:
+		return "1level"
+	case LevelTwo:
+		return "2level"
+	case LevelThree:
+		return "3level"
+	case LevelAuto:
+		return "auto"
+	default:
+		return "level?"
+	}
+}
+
+// Policy dispatches team collectives to flat or hierarchy-aware
+// implementations. The zero value is the flat runtime.
+type Policy struct {
+	Level Level
+}
+
+// effective resolves LevelAuto for a concrete team.
+func (p Policy) effective(v *team.View) Level {
+	if p.Level != LevelAuto {
+		return p.Level
+	}
+	t := v.T
+	for gi := 0; gi < t.NumNodeGroups(); gi++ {
+		if len(t.NodeGroup(gi)) > 1 {
+			return LevelTwo
+		}
+	}
+	return LevelFlat
+}
+
+// Barrier synchronizes the team (CAF sync team / sync all within the
+// team).
+func (p Policy) Barrier(v *team.View) {
+	switch p.effective(v) {
+	case LevelTwo:
+		BarrierTDLB(v)
+	case LevelThree:
+		BarrierTDLB3(v)
+	default:
+		coll.BarrierDissemination(v, pgas.ViaConduit)
+	}
+}
+
+// Allreduce performs the team all-to-all reduction (co_sum and friends).
+func (p Policy) Allreduce(v *team.View, buf []float64, op coll.Op) {
+	switch p.effective(v) {
+	case LevelTwo:
+		AllreduceTwoLevel(v, buf, op)
+	case LevelThree:
+		AllreduceThreeLevel(v, buf, op)
+	default:
+		coll.AllreduceRD(v, buf, op, pgas.ViaConduit)
+	}
+}
+
+// Allgather concatenates every member's mine vector into out (ordered by
+// team rank) on every member.
+func (p Policy) Allgather(v *team.View, mine, out []float64) {
+	switch p.effective(v) {
+	case LevelTwo, LevelThree:
+		AllgatherTwoLevel(v, mine, out)
+	default:
+		coll.AllgatherRing(v, mine, out, pgas.ViaConduit)
+	}
+}
+
+// ReduceTo performs the team reduce-to-one (the co_sum(result_image=...)
+// family): only team rank root receives the combined result.
+func (p Policy) ReduceTo(v *team.View, root int, buf []float64, op coll.Op) {
+	switch p.effective(v) {
+	case LevelTwo, LevelThree:
+		ReduceToRootTwoLevel(v, root, buf, op)
+	default:
+		coll.ReduceToRoot(v, root, buf, op, pgas.ViaConduit)
+	}
+}
+
+// Broadcast performs the team one-to-all broadcast (co_broadcast) from team
+// rank root.
+func (p Policy) Broadcast(v *team.View, root int, buf []float64) {
+	switch p.effective(v) {
+	case LevelTwo, LevelThree:
+		BcastTwoLevel(v, root, buf)
+	default:
+		coll.BcastBinomial(v, root, buf, pgas.ViaConduit)
+	}
+}

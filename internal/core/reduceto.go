@@ -1,0 +1,90 @@
+package core
+
+import (
+	"cafteams/internal/coll"
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// ReduceToRootTwoLevel is the memory-hierarchy-aware reduce-to-one (the CAF
+// co_sum(result_image=...) family): intranode sets gather at their node
+// leader over shared memory, the leaders run a binomial reduce-to-one to
+// the root's leader over the network, and the root's leader hands the
+// result to the root over shared memory. Only root's buf holds the result.
+//
+// Flag layout (in the shared redState): slots 5/6 parity intranode arrivals
+// at the leader (parity-split because members here are only credit-gated,
+// so a fast member can run one episode ahead), slot 1 the root handoff,
+// slots 3/4 parity ack credits for the intranode landing regions.
+func ReduceToRootTwoLevel(v *team.View, root int, buf []float64, op coll.Op) {
+	t := v.T
+	v.Img.World().Stats().Count(trace.OpReduce)
+	if t.Size() == 1 {
+		return
+	}
+	n := len(buf)
+	alg := "redto2." + op.Name
+	st := getRedState(v, alg)
+	st.ep[v.Rank]++
+	ep := st.ep[v.Rank]
+	co, cap_, regions := redScratch(v, alg, n)
+	parity := int(ep % 2)
+	region := func(k int) int { return (parity*regions + k) * cap_ }
+	resultRegion := region(regions - 1)
+	ackSlot := 3 + parity
+	me := v.Img
+	leader := t.LeaderOf(v.Rank)
+	group := t.NodeGroup(t.GroupOf(v.Rank))
+	rootLeader := t.LeaderOf(root)
+
+	if v.Rank != leader {
+		// Contribute to the node leader; gate region reuse on the
+		// leader's credit for my previous same-parity episode. (Members
+		// use their own ackExpect entries to count same-parity sends;
+		// leaders use theirs for arrival expectations — the roles are
+		// fixed per team, so the entries never conflict.)
+		st.ackExpect[parity][v.Rank]++
+		if sends := st.ackExpect[parity][v.Rank]; sends > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), ackSlot, sends-1)
+		}
+		slot := -1
+		for i, r := range group {
+			if r == v.Rank {
+				slot = i
+			}
+		}
+		pgas.PutThenNotify(me, co, t.GlobalRank(leader), region(slot), buf, st.flags, 5+parity, 1, pgas.ViaShm)
+		if v.Rank == root {
+			// A non-leader root receives the final result from its
+			// leader.
+			st.expect1[v.Rank]++
+			me.WaitFlagGE(st.flags, me.Rank(), 1, st.expect1[v.Rank])
+			copy(buf, pgas.Local(co, me)[resultRegion:resultRegion+n])
+			me.MemWork(8 * n)
+		}
+		return
+	}
+	// Leader: combine the intranode set, crediting each contributor.
+	if len(group) > 1 {
+		st.ackExpect[parity][v.Rank] += int64(len(group) - 1)
+		me.WaitFlagGE(st.flags, me.Rank(), 5+parity, st.ackExpect[parity][v.Rank])
+		local := pgas.Local(co, me)
+		for i, r := range group {
+			if r == v.Rank {
+				continue
+			}
+			off := region(i)
+			op.Combine(buf, local[off:off+n])
+			me.MemWork(16 * n)
+			me.NotifyAdd(st.flags, t.GlobalRank(r), ackSlot, 1, pgas.ViaShm)
+		}
+	}
+	// Binomial reduce-to-one among leaders, to the root's leader.
+	leaders := t.Leaders()
+	coll.SubgroupReduceToRoot(v, leaders, t.LeaderPos(v.Rank), t.LeaderPos(rootLeader), buf, op, "core.redto2lead."+op.Name, pgas.ViaConduit)
+	// Hand the result to a non-leader root.
+	if v.Rank == rootLeader && root != rootLeader {
+		pgas.PutThenNotify(me, co, t.GlobalRank(root), resultRegion, buf, st.flags, 1, 1, pgas.ViaShm)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"cafteams/internal/coll"
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// AllreduceThreeLevel is the socket-aware all-to-all reduction (the
+// multi-level generalization of the paper's future-work section):
+//
+//	Step 1: cores ship vectors to their *socket* leader (cheapest coherence
+//	        domain); the socket leader combines;
+//	Step 2: socket leaders ship partials to the *node* leader; it combines;
+//	Step 3: node leaders run recursive doubling over the network;
+//	Steps 4-5: results cascade back down node -> socket -> core.
+//
+// Flag layout: slot 0 socket arrivals, slot 1 socket release, slot 2 node
+// arrivals, slot 3 node release.
+func AllreduceThreeLevel(v *team.View, buf []float64, op coll.Op) {
+	t := v.T
+	v.Img.World().Stats().Count(trace.OpReduce)
+	if t.Size() == 1 {
+		return
+	}
+	n := len(buf)
+	alg := "red3." + op.Name
+	st := getRedState(v, alg)
+	st.ep[v.Rank]++
+	ep := st.ep[v.Rank]
+	co, cap_, regions := red3Scratch(v, alg, n)
+	parity := int(ep % 2)
+	region := func(k int) int { return (parity*regions + k) * cap_ }
+	resultRegion := region(regions - 1)
+	me := v.Img
+
+	gi := t.GroupOf(v.Rank)
+	nodeLeader := t.LeaderOf(v.Rank)
+	sgroups := t.SocketGroups(gi)
+	sleaders := t.SocketLeaders(gi)
+	mySocketGroup, mySocketLeader := socketOf(sgroups, sleaders, v.Rank)
+
+	if v.Rank != mySocketLeader {
+		// Step 1 (core): contribute to the socket leader, await result.
+		slot := slotIn(mySocketGroup, v.Rank)
+		pgas.PutThenNotify(me, co, t.GlobalRank(mySocketLeader), region(slot), buf, st.flags, 0, 1, pgas.ViaShm)
+		me.WaitFlagGE(st.flags, me.Rank(), 1, ep)
+		copy(buf, pgas.Local(co, me)[resultRegion:resultRegion+n])
+		me.MemWork(8 * n)
+		return
+	}
+	// Socket leader: combine the socket group's vectors.
+	if len(mySocketGroup) > 1 {
+		me.WaitFlagGE(st.flags, me.Rank(), 0, ep*int64(len(mySocketGroup)-1))
+		local := pgas.Local(co, me)
+		for i, r := range mySocketGroup {
+			if r == v.Rank {
+				continue
+			}
+			off := region(i)
+			op.Combine(buf, local[off:off+n])
+			me.MemWork(16 * n)
+		}
+	}
+	if v.Rank != nodeLeader {
+		// Step 2 (socket leader): contribute to the node leader, await
+		// result, then release the socket.
+		slot := slotIn(sleaders, v.Rank)
+		pgas.PutThenNotify(me, co, t.GlobalRank(nodeLeader), region(slot), buf, st.flags, 2, 1, pgas.ViaShm)
+		me.WaitFlagGE(st.flags, me.Rank(), 3, ep)
+		copy(buf, pgas.Local(co, me)[resultRegion:resultRegion+n])
+		me.MemWork(8 * n)
+	} else {
+		// Node leader: combine the other socket leaders' partials.
+		if len(sleaders) > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), 2, ep*int64(len(sleaders)-1))
+			local := pgas.Local(co, me)
+			for i, r := range sleaders {
+				if r == v.Rank {
+					continue
+				}
+				off := region(i)
+				op.Combine(buf, local[off:off+n])
+				me.MemWork(16 * n)
+			}
+		}
+		// Step 3: network recursive doubling among node leaders.
+		coll.SubgroupAllreduceRD(v, t.Leaders(), t.LeaderPos(v.Rank), buf, op, "core.red3lead."+op.Name, pgas.ViaConduit)
+		// Step 4: release the other socket leaders.
+		for _, sl := range sleaders {
+			if sl == v.Rank {
+				continue
+			}
+			pgas.PutThenNotify(me, co, t.GlobalRank(sl), resultRegion, buf, st.flags, 3, 1, pgas.ViaShm)
+		}
+	}
+	// Step 5: release my socket group.
+	for _, r := range mySocketGroup {
+		if r == v.Rank {
+			continue
+		}
+		pgas.PutThenNotify(me, co, t.GlobalRank(r), resultRegion, buf, st.flags, 1, 1, pgas.ViaShm)
+	}
+}
+
+// red3Scratch sizes the 3-level inbox: enough regions for the largest
+// socket group, the largest socket-leader set, and the result, per parity.
+func red3Scratch(v *team.View, alg string, elems int) (*pgas.Coarray[float64], int, int) {
+	maxGroup := 1
+	for gi := 0; gi < v.T.NumNodeGroups(); gi++ {
+		for _, sg := range v.T.SocketGroups(gi) {
+			if len(sg) > maxGroup {
+				maxGroup = len(sg)
+			}
+		}
+		if l := len(v.T.SocketLeaders(gi)); l > maxGroup {
+			maxGroup = l
+		}
+	}
+	regions := maxGroup + 1
+	c := 16
+	for c < elems {
+		c <<= 1
+	}
+	name := fmt.Sprintf("core:%s:team%d:cap%d", alg, v.T.ID(), c)
+	members := make([]int, v.T.Size())
+	copy(members, v.T.Members())
+	co := pgas.NewTeamCoarray[float64](v.Img.World(), name, c*2*regions, members)
+	return co, c, regions
+}
+
+// slotIn returns r's index within group.
+func slotIn(group []int, r int) int {
+	for i, g := range group {
+		if g == r {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: rank %d not in group %v", r, group))
+}

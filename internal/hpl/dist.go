@@ -1,0 +1,132 @@
+// Package hpl is a Coarray-style port of the High Performance Linpack
+// benchmark running on the simulated PGAS runtime — the paper's second
+// evaluation vehicle (§V-B, Figure 1). The solver is a right-looking
+// blocked LU factorization with partial pivoting over a P×Q process grid
+// with 2-D block-cyclic data distribution, organized exactly the way the
+// paper describes: *column teams* perform pivot search (max-loc reductions)
+// and row interchanges, *row teams* broadcast panels, and column teams
+// broadcast the U stripe; the trailing update is local DGEMM.
+//
+// Two engines drive it: the Real engine does the actual floating-point
+// arithmetic (verifiable against the serial factorization and the HPL
+// residual check), while the Phantom engine skips arithmetic but issues the
+// identical communication and charges the identical simulated compute time,
+// making cluster-scale performance runs cheap.
+package hpl
+
+import "fmt"
+
+// dist captures a 2-D block-cyclic distribution of an n×n matrix with block
+// size nb over a p×q grid, from the viewpoint of grid position (pr, pc).
+type dist struct {
+	n, nb  int
+	p, q   int
+	pr, pc int
+}
+
+// numBlocks returns the number of block rows (= block columns).
+func (d dist) numBlocks() int { return (d.n + d.nb - 1) / d.nb }
+
+// blockSize returns the extent of block b (the last block may be short).
+func (d dist) blockSize(b int) int {
+	s := d.n - b*d.nb
+	if s > d.nb {
+		s = d.nb
+	}
+	return s
+}
+
+// ownerRow returns the grid row owning global row block b.
+func (d dist) ownerRow(b int) int { return b % d.p }
+
+// ownerCol returns the grid column owning global column block b.
+func (d dist) ownerCol(b int) int { return b % d.q }
+
+// localRows returns how many matrix rows this image stores.
+func (d dist) localRows() int {
+	total := 0
+	for b := d.pr; b < d.numBlocks(); b += d.p {
+		total += d.blockSize(b)
+	}
+	return total
+}
+
+// localCols returns how many matrix columns this image stores.
+func (d dist) localCols() int {
+	total := 0
+	for b := d.pc; b < d.numBlocks(); b += d.q {
+		total += d.blockSize(b)
+	}
+	return total
+}
+
+// localRowOf maps a global row to this image's local row index. The caller
+// must own it.
+func (d dist) localRowOf(gr int) int {
+	b, i := gr/d.nb, gr%d.nb
+	if b%d.p != d.pr {
+		panic(fmt.Sprintf("hpl: image row %d does not own global row %d", d.pr, gr))
+	}
+	return (b/d.p)*d.nb + i
+}
+
+// localColOf maps a global column to this image's local column index. The
+// caller must own it.
+func (d dist) localColOf(gc int) int {
+	b, j := gc/d.nb, gc%d.nb
+	if b%d.q != d.pc {
+		panic(fmt.Sprintf("hpl: image col %d does not own global col %d", d.pc, gc))
+	}
+	return (b/d.q)*d.nb + j
+}
+
+// globalRowOfLocal maps a local row index back to its global row.
+func (d dist) globalRowOfLocal(lr int) int {
+	lb, i := lr/d.nb, lr%d.nb
+	return (lb*d.p+d.pr)*d.nb + i
+}
+
+// globalColOfLocal maps a local column index back to its global column.
+func (d dist) globalColOfLocal(lc int) int {
+	lb, j := lc/d.nb, lc%d.nb
+	return (lb*d.q+d.pc)*d.nb + j
+}
+
+// firstLocalRowAtOrAfter returns the smallest local row index whose global
+// row is >= gr, or localRows() if none.
+func (d dist) firstLocalRowAtOrAfter(gr int) int {
+	b, i := gr/d.nb, gr%d.nb
+	if b >= d.numBlocks() {
+		return d.localRows()
+	}
+	switch {
+	case b%d.p == d.pr:
+		return (b/d.p)*d.nb + i
+	default:
+		// First owned block after b.
+		nb := b + ((d.pr-b%d.p)+d.p)%d.p
+		if nb >= d.numBlocks() {
+			return d.localRows()
+		}
+		return (nb / d.p) * d.nb
+	}
+}
+
+// firstLocalColAtOrAfter returns the smallest local column index whose
+// global column is >= gc, or localCols() if none.
+func (d dist) firstLocalColAtOrAfter(gc int) int {
+	b, j := gc/d.nb, gc%d.nb
+	if b >= d.numBlocks() {
+		return d.localCols()
+	}
+	switch {
+	case b%d.q == d.pc:
+		return (b/d.q)*d.nb + j
+	default:
+		nb := b + ((d.pc-b%d.q)+d.q)%d.q
+		if nb >= d.numBlocks() {
+			return d.localCols()
+		}
+		return (nb / d.q) * d.nb
+	}
+}

@@ -1,0 +1,152 @@
+package hpl
+
+import (
+	"fmt"
+
+	"cafteams/internal/pgas"
+)
+
+// swapper implements distributed row interchanges: the two images owning the
+// global rows exchange their local row segments through a dedicated landing
+// coarray, with per-pair sequence counters and parity double-buffering.
+// Both sides put first and wait second, so the exchange cannot deadlock;
+// per-pair sequencing makes interleaved swaps with different partners safe.
+type swapper struct {
+	w      *pgas.World
+	im     *pgas.Image
+	co     *pgas.Coarray[float64]
+	fl     *pgas.Flags
+	segCap int
+	sent   map[int]int64
+	rcvd   map[int]int64
+}
+
+func newSwapper(w *pgas.World, im *pgas.Image, d dist) *swapper {
+	segCap := ((d.numBlocks()+d.q-1)/d.q + 1) * d.nb
+	nimg := w.NumImages()
+	return &swapper{
+		w:      w,
+		im:     im,
+		co:     pgas.NewCoarray[float64](w, "hpl:swap", nimg*2*segCap),
+		fl:     pgas.NewFlags(w, "hpl:swap", nimg),
+		segCap: segCap,
+		sent:   make(map[int]int64),
+		rcvd:   make(map[int]int64),
+	}
+}
+
+// exchange swaps out/in with the partner image (global rank). len(out) must
+// equal len(in), and both sides must call exchange with matching lengths.
+func (s *swapper) exchange(partner int, out, in []float64) {
+	if len(out) > s.segCap {
+		panic(fmt.Sprintf("hpl: swap segment %d exceeds capacity %d", len(out), s.segCap))
+	}
+	me := s.im.Rank()
+	seq := s.sent[partner]
+	s.sent[partner] = seq + 1
+	parity := int(seq % 2)
+	region := (me*2 + parity) * s.segCap
+	pgas.PutThenNotify(s.im, s.co, partner, region, out, s.fl, me, 1, pgas.ViaAuto)
+	s.rcvd[partner]++
+	s.im.WaitFlagGE(s.fl, me, partner, s.rcvd[partner])
+	myRegion := (partner*2 + parity) * s.segCap
+	copy(in, pgas.Local(s.co, s.im)[myRegion:myRegion+len(in)])
+	s.im.MemWork(8 * len(in))
+}
+
+// swapRows exchanges global rows gr1 and gr2 across this image's local
+// columns [c0, c1) (local column indexes). Images owning neither row return
+// immediately.
+func (s *swapper) swapRows(eng Engine, d dist, gr1, gr2, c0, c1 int, bufA, bufB []float64) {
+	if gr1 == gr2 || c1 <= c0 {
+		return
+	}
+	o1 := d.ownerRow(gr1 / d.nb)
+	o2 := d.ownerRow(gr2 / d.nb)
+	switch {
+	case d.pr == o1 && d.pr == o2:
+		// Both rows local: plain swap.
+		lr1, lr2 := d.localRowOf(gr1), d.localRowOf(gr2)
+		a := bufA[:c1-c0]
+		b := bufB[:c1-c0]
+		eng.PackRow(lr1, c0, c1, a)
+		eng.PackRow(lr2, c0, c1, b)
+		eng.UnpackRow(lr1, c0, c1, b)
+		eng.UnpackRow(lr2, c0, c1, a)
+		s.im.MemWork(16 * (c1 - c0))
+	case d.pr == o1:
+		s.swapRemote(eng, d, gr1, o2, c0, c1, bufA, bufB)
+	case d.pr == o2:
+		s.swapRemote(eng, d, gr2, o1, c0, c1, bufA, bufB)
+	}
+}
+
+// swapRemote exchanges the locally-owned global row grLocal with the image
+// in grid row otherPR of the same grid column.
+func (s *swapper) swapRemote(eng Engine, d dist, grLocal, otherPR, c0, c1 int, bufA, bufB []float64) {
+	lr := d.localRowOf(grLocal)
+	out := bufA[:c1-c0]
+	in := bufB[:c1-c0]
+	eng.PackRow(lr, c0, c1, out)
+	partner := gridGlobalRank(d, otherPR, d.pc)
+	s.exchange(partner, out, in)
+	eng.UnpackRow(lr, c0, c1, in)
+}
+
+// swapRowsExcluding swaps rows across all local columns except [e0, e1)
+// (pass -1, -1 for no exclusion). Used for the trailing/left interchange
+// where the panel block was already swapped during factorization.
+func (s *swapper) swapRowsExcluding(eng Engine, d dist, gr1, gr2, e0, e1 int, bufA, bufB []float64) {
+	lc := d.localCols()
+	if e0 < 0 {
+		s.swapRows(eng, d, gr1, gr2, 0, lc, bufA, bufB)
+		return
+	}
+	// Two spans: [0, e0) and [e1, lc). Do them as one packed exchange to
+	// keep message counts realistic (HPL swaps whole rows).
+	o1 := d.ownerRow(gr1 / d.nb)
+	o2 := d.ownerRow(gr2 / d.nb)
+	if d.pr != o1 && d.pr != o2 {
+		return
+	}
+	width := e0 + (lc - e1)
+	if width <= 0 {
+		return
+	}
+	pack := func(lr int, out []float64) {
+		eng.PackRow(lr, 0, e0, out[:e0])
+		eng.PackRow(lr, e1, lc, out[e0:width])
+	}
+	unpack := func(lr int, in []float64) {
+		eng.UnpackRow(lr, 0, e0, in[:e0])
+		eng.UnpackRow(lr, e1, lc, in[e0:width])
+	}
+	if o1 == o2 {
+		lr1, lr2 := d.localRowOf(gr1), d.localRowOf(gr2)
+		a := bufA[:width]
+		b := bufB[:width]
+		pack(lr1, a)
+		pack(lr2, b)
+		unpack(lr1, b)
+		unpack(lr2, a)
+		s.im.MemWork(16 * width)
+		return
+	}
+	var grMine int
+	var otherPR int
+	if d.pr == o1 {
+		grMine, otherPR = gr1, o2
+	} else {
+		grMine, otherPR = gr2, o1
+	}
+	lr := d.localRowOf(grMine)
+	out := bufA[:width]
+	in := bufB[:width]
+	pack(lr, out)
+	s.exchange(gridGlobalRank(d, otherPR, d.pc), out, in)
+	unpack(lr, in)
+}
+
+// gridGlobalRank maps grid coordinates to the global image rank (row-major
+// grid as formed by team.Grid).
+func gridGlobalRank(d dist, pr, pc int) int { return pr*d.q + pc }

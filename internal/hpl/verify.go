@@ -1,0 +1,90 @@
+package hpl
+
+import (
+	"fmt"
+	"math"
+
+	"cafteams/internal/linalg"
+	"cafteams/internal/pgas"
+)
+
+// verify gathers the distributed factors on image 0, re-factorizes the same
+// matrix serially with the same block size, compares the factors entry-wise,
+// then solves A x = b with the distributed factors and computes the scaled
+// HPL residual. Returns (residual, maxFactorDiff, err); non-zero ranks
+// return NaNs after contributing their slab.
+func verify(w *pgas.World, im *pgas.Image, d dist, eng Engine, ipiv []int, cfg Config) (float64, float64, error) {
+	lr, lc := d.localRows(), d.localCols()
+	maxSlab := 0
+	// Upper bound on any image's slab: ceil distribution.
+	mr := ((d.numBlocks()+d.p-1)/d.p + 1) * d.nb
+	mc := ((d.numBlocks()+d.q-1)/d.q + 1) * d.nb
+	maxSlab = mr * mc
+	co := pgas.NewCoarray[float64](w, "hpl:gather", maxSlab)
+	fl := pgas.NewFlags(w, "hpl:gather", 1)
+
+	// Publish my slab (column-major, lr×lc).
+	local := eng.Local()
+	slab := pgas.Local(co, im)
+	for j := 0; j < lc; j++ {
+		copy(slab[j*lr:j*lr+lr], local.Data[j*local.LD:j*local.LD+lr])
+	}
+	im.MemWork(8 * lr * lc)
+	im.NotifyAdd(fl, 0, 0, 1, pgas.ViaAuto)
+	if im.Rank() != 0 {
+		return math.NaN(), math.NaN(), nil
+	}
+	im.WaitFlagGE(fl, 0, 0, int64(w.NumImages()))
+
+	// Assemble the global factors.
+	n := cfg.N
+	lu := linalg.NewMatrix(n, n)
+	buf := make([]float64, maxSlab)
+	for r := 0; r < w.NumImages(); r++ {
+		rd := dist{n: n, nb: cfg.NB, p: cfg.P, q: cfg.Q, pr: r / cfg.Q, pc: r % cfg.Q}
+		rlr, rlc := rd.localRows(), rd.localCols()
+		if rlr == 0 || rlc == 0 {
+			continue
+		}
+		get := buf[:rlr*rlc]
+		pgas.Get(im, co, r, 0, get)
+		for j := 0; j < rlc; j++ {
+			gc := rd.globalColOfLocal(j)
+			for i := 0; i < rlr; i++ {
+				lu.Set(rd.globalRowOfLocal(i), gc, get[j*rlr+i])
+			}
+		}
+	}
+
+	// Serial reference factorization of the same matrix.
+	ref := linalg.NewMatrix(n, n)
+	linalg.FillRandom(ref, cfg.Seed, 0, 0)
+	orig := ref.Clone()
+	refPiv := make([]int, n)
+	if err := linalg.Getrf(ref, refPiv, cfg.NB); err != nil {
+		return math.NaN(), math.NaN(), fmt.Errorf("hpl verify: serial reference failed: %w", err)
+	}
+	maxDiff := 0.0
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if dv := math.Abs(lu.At(i, j) - ref.At(i, j)); dv > maxDiff {
+				maxDiff = dv
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		if ipiv[k] != refPiv[k] {
+			return math.NaN(), maxDiff, fmt.Errorf("hpl verify: pivot %d differs (distributed %d vs serial %d)", k, ipiv[k], refPiv[k])
+		}
+	}
+
+	// Solve with the distributed factors and check the HPL residual.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = linalg.ElementAt(cfg.Seed, i, n)
+	}
+	x := append([]float64(nil), b...)
+	linalg.LuSolve(lu, ipiv, x)
+	res := linalg.Residual(orig, x, b)
+	return res, maxDiff, nil
+}

@@ -1,0 +1,322 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, m, n int) *Matrix {
+	a := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return a
+}
+
+func naiveGemm(alpha float64, a, b, c *Matrix) {
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			s := 0.0
+			for l := 0; l < a.Cols; l++ {
+				s += a.At(i, l) * b.At(l, j)
+			}
+			c.Set(i, j, c.At(i, j)+alpha*s)
+		}
+	}
+}
+
+func matEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			if math.Abs(a.At(i, j)-b.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := rng.Intn(20)+1, rng.Intn(20)+1, rng.Intn(20)+1
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		c1 := randomMatrix(rng, m, n)
+		c2 := c1.Clone()
+		alpha := rng.NormFloat64()
+		Gemm(alpha, a, b, c1)
+		naiveGemm(alpha, a, b, c2)
+		if !matEqual(c1, c2, 1e-10) {
+			t.Fatalf("gemm mismatch at %dx%dx%d", m, k, n)
+		}
+	}
+}
+
+func TestGemmShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched gemm did not panic")
+		}
+	}()
+	Gemm(1, NewMatrix(2, 3), NewMatrix(4, 2), NewMatrix(2, 2))
+}
+
+func TestTrsmLowerUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		m, n := rng.Intn(15)+1, rng.Intn(15)+1
+		l := randomMatrix(rng, m, m)
+		for i := 0; i < m; i++ {
+			l.Set(i, i, 1)
+			for j := i + 1; j < m; j++ {
+				l.Set(i, j, 0)
+			}
+		}
+		x := randomMatrix(rng, m, n)
+		b := NewMatrix(m, n)
+		naiveGemm(1, l, x, b)
+		TrsmLowerUnitLeft(l, b) // b <- L^{-1} (L x) = x
+		if !matEqual(b, x, 1e-9) {
+			t.Fatalf("trsm did not recover x (m=%d n=%d)", m, n)
+		}
+	}
+}
+
+func TestGetf2ReconstructsPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 12, 6
+	a := randomMatrix(rng, m, n)
+	orig := a.Clone()
+	ipiv := make([]int, n)
+	if err := Getf2(a, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct: L (m×n unit-lower trapezoid) * U (n×n upper) should
+	// equal the permuted original panel.
+	l := NewMatrix(m, n)
+	u := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			switch {
+			case i > j:
+				l.Set(i, j, a.At(i, j))
+			case i == j:
+				l.Set(i, j, 1)
+				u.Set(i, j, a.At(i, j))
+			default:
+				u.Set(i, j, a.At(i, j))
+			}
+		}
+	}
+	lu := NewMatrix(m, n)
+	naiveGemm(1, l, u, lu)
+	Laswp(orig, 0, ipiv)
+	if !matEqual(lu, orig, 1e-9) {
+		t.Fatal("L*U != P*A for panel factorization")
+	}
+}
+
+func TestGetf2Singular(t *testing.T) {
+	a := NewMatrix(3, 3) // all zeros
+	if err := Getf2(a, make([]int, 3)); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestGetrfSolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 5, 16, 33, 64, 100} {
+		a := randomMatrix(rng, n, n)
+		orig := a.Clone()
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := append([]float64(nil), b...)
+		ipiv := make([]int, n)
+		if err := Getrf(a, ipiv, 8); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		LuSolve(a, ipiv, x)
+		if r := Residual(orig, x, b); r > 16 {
+			t.Fatalf("n=%d: residual %v too large", n, r)
+		}
+	}
+}
+
+func TestGetrfMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 40
+	a1 := randomMatrix(rng, n, n)
+	a2 := a1.Clone()
+	p1 := make([]int, n)
+	p2 := make([]int, n)
+	if err := Getrf(a1, p1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := Getf2(a2, p2); err != nil {
+		t.Fatal(err)
+	}
+	// Same pivots and same factors (up to fp roundoff order).
+	for k := 0; k < n; k++ {
+		if p1[k] != p2[k] {
+			t.Fatalf("pivot %d differs: blocked %d vs unblocked %d", k, p1[k], p2[k])
+		}
+	}
+	if !matEqual(a1, a2, 1e-8) {
+		t.Fatal("blocked and unblocked factors differ")
+	}
+}
+
+func TestGetrfRejectsNonSquare(t *testing.T) {
+	if err := Getrf(NewMatrix(3, 4), make([]int, 3), 2); err == nil {
+		t.Fatal("non-square getrf accepted")
+	}
+}
+
+func TestLaswpRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomMatrix(rng, 8, 5)
+	orig := a.Clone()
+	ipiv := []int{3, 1, 7, 3}
+	Laswp(a, 0, ipiv)
+	// Applying the swaps in reverse order undoes them.
+	for k := len(ipiv) - 1; k >= 0; k-- {
+		if ipiv[k] != k {
+			SwapRows(a, k, ipiv[k])
+		}
+	}
+	if !matEqual(a, orig, 0) {
+		t.Fatal("laswp round trip failed")
+	}
+}
+
+func TestSubViewSharesStorage(t *testing.T) {
+	a := NewMatrix(4, 4)
+	s := a.Sub(1, 1, 2, 2)
+	s.Set(0, 0, 42)
+	if a.At(1, 1) != 42 {
+		t.Fatal("sub view does not alias parent")
+	}
+}
+
+func TestSubOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewMatrix(3, 3).Sub(2, 2, 2, 2)
+}
+
+func TestElementAtDeterministic(t *testing.T) {
+	if ElementAt(7, 3, 4) != ElementAt(7, 3, 4) {
+		t.Fatal("ElementAt not deterministic")
+	}
+	if ElementAt(7, 3, 4) == ElementAt(8, 3, 4) {
+		t.Fatal("seed has no effect")
+	}
+	if ElementAt(7, 3, 4) == ElementAt(7, 4, 3) {
+		t.Fatal("position has no effect")
+	}
+	v := ElementAt(1, 1000, 1000)
+	if v < -0.5 || v >= 0.5 {
+		t.Fatalf("value %v outside [-0.5, 0.5)", v)
+	}
+}
+
+func TestFillRandomMatchesElementAt(t *testing.T) {
+	a := NewMatrix(5, 5)
+	FillRandom(a, 9, 10, 20)
+	if a.At(2, 3) != ElementAt(9, 12, 23) {
+		t.Fatal("FillRandom offsets wrong")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, -2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	if NormInfMatrix(a) != 7 {
+		t.Fatalf("matrix inf norm = %v, want 7", NormInfMatrix(a))
+	}
+	if NormInfVec([]float64{1, -9, 3}) != 9 {
+		t.Fatal("vector inf norm wrong")
+	}
+}
+
+func TestLuFlops(t *testing.T) {
+	if got := LuFlops(100); math.Abs(got-(2e6/3+15000)) > 1 {
+		t.Fatalf("LuFlops(100) = %v", got)
+	}
+}
+
+func TestFlopCountsPositive(t *testing.T) {
+	if GemmFlops(3, 4, 5) != 120 {
+		t.Fatal("gemm flops")
+	}
+	if TrsmFlops(3, 4) != 36 {
+		t.Fatal("trsm flops")
+	}
+	if Getf2Flops(10, 5) <= 0 {
+		t.Fatal("getf2 flops")
+	}
+}
+
+// Property: LuSolve applied to A's factorization solves A x = b to HPL
+// accuracy for random well-conditioned systems.
+func TestSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		a := randomMatrix(rng, n, n)
+		// Diagonal dominance keeps the test numerically tame.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		orig := a.Clone()
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := append([]float64(nil), b...)
+		ipiv := make([]int, n)
+		if err := Getrf(a, ipiv, 4); err != nil {
+			return false
+		}
+		LuSolve(a, ipiv, x)
+		return Residual(orig, x, b) < 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gemm is linear in alpha.
+func TestGemmAlphaLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := rng.Intn(8)+1, rng.Intn(8)+1, rng.Intn(8)+1
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		c1 := NewMatrix(m, n)
+		c2 := NewMatrix(m, n)
+		Gemm(2.5, a, b, c1)
+		Gemm(1.25, a, b, c2)
+		Gemm(1.25, a, b, c2)
+		return matEqual(c1, c2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cafteams/internal/sim"
+)
+
+func TestPaperClusterValidates(t *testing.T) {
+	if err := PaperCluster().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShmCheaperThanNet(t *testing.T) {
+	m := PaperCluster()
+	if m.Shm.O >= m.Net.O || m.Shm.G >= m.Net.G || m.Shm.L >= m.Net.L {
+		t.Fatalf("shared memory must be cheaper than network: shm=%+v net=%+v", m.Shm, m.Net)
+	}
+}
+
+func TestByteTime(t *testing.T) {
+	p := Params{BytesPerNS: 2.0}
+	if got := p.ByteTime(2000); got != 1000 {
+		t.Fatalf("ByteTime(2000) = %d, want 1000", got)
+	}
+	if got := p.ByteTime(0); got != 0 {
+		t.Fatalf("ByteTime(0) = %d, want 0", got)
+	}
+	if got := p.ByteTime(-5); got != 0 {
+		t.Fatalf("ByteTime(-5) = %d, want 0", got)
+	}
+}
+
+func TestByteTimeZeroBandwidth(t *testing.T) {
+	p := Params{}
+	if got := p.ByteTime(100); got != 0 {
+		t.Fatalf("ByteTime with zero bandwidth = %d, want 0", got)
+	}
+}
+
+func TestConduitIBVCheaperThanRDMA(t *testing.T) {
+	base := PaperCluster()
+	ibv := base.WithConduit(ConduitGASNetIBV)
+	if ibv.Net.O >= base.Net.O || ibv.Net.G >= base.Net.G {
+		t.Fatalf("IB verbs must have lower per-message costs: %+v vs %+v", ibv.Net, base.Net)
+	}
+}
+
+func TestConduitMPIDearerThanRDMA(t *testing.T) {
+	base := PaperCluster()
+	mpi := base.WithConduit(ConduitMPI)
+	if mpi.Net.O <= base.Net.O {
+		t.Fatalf("MPI per-message overhead should exceed GASNet RDMA: %d vs %d", mpi.Net.O, base.Net.O)
+	}
+}
+
+func TestWithConduitDoesNotMutateBase(t *testing.T) {
+	base := PaperCluster()
+	o := base.Net.O
+	_ = base.WithConduit(ConduitMPI)
+	_ = base.WithConduit(ConduitGASNetIBV)
+	if base.Net.O != o {
+		t.Fatal("WithConduit mutated the receiver")
+	}
+}
+
+func TestConduitStrings(t *testing.T) {
+	cases := map[Conduit]string{
+		ConduitGASNetRDMA: "gasnet-rdma",
+		ConduitGASNetIBV:  "gasnet-ibv",
+		ConduitMPI:        "mpi",
+		Conduit(99):       "conduit(99)",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	m := &Model{FlopsPerNS: 2.0}
+	if got := m.ComputeTime(4000); got != 2000 {
+		t.Fatalf("ComputeTime(4000) = %d, want 2000", got)
+	}
+	if got := m.ComputeTime(0); got != 0 {
+		t.Fatalf("ComputeTime(0) = %d, want 0", got)
+	}
+	if got := m.ComputeTime(-1); got != 0 {
+		t.Fatalf("ComputeTime(-1) = %d, want 0", got)
+	}
+}
+
+func TestMemTime(t *testing.T) {
+	m := &Model{MemBytesPerNS: 4.0}
+	if got := m.MemTime(8000); got != 2000 {
+		t.Fatalf("MemTime(8000) = %d, want 2000", got)
+	}
+	if got := m.MemTime(0); got != 0 {
+		t.Fatal("MemTime(0) != 0")
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []*Model{
+		{Name: "negO", Net: Params{O: -1, BytesPerNS: 1}, Shm: Params{BytesPerNS: 1}, FlopsPerNS: 1},
+		{Name: "negShm", Net: Params{BytesPerNS: 1}, Shm: Params{L: -1, BytesPerNS: 1}, FlopsPerNS: 1},
+		{Name: "zeroBW", Net: Params{}, Shm: Params{BytesPerNS: 1}, FlopsPerNS: 1},
+		{Name: "zeroFlops", Net: Params{BytesPerNS: 1}, Shm: Params{BytesPerNS: 1}},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("model %q validated but should not", m.Name)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := PaperCluster()
+	b := a.Clone()
+	b.Net.O = 1
+	if a.Net.O == 1 {
+		t.Fatal("Clone shares state with receiver")
+	}
+}
+
+// Property: ByteTime is monotone in message size.
+func TestByteTimeMonotoneProperty(t *testing.T) {
+	p := PaperCluster().Net
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.ByteTime(x) <= p.ByteTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compute time scales linearly (within integer truncation).
+func TestComputeTimeLinearityProperty(t *testing.T) {
+	m := PaperCluster()
+	f := func(k uint8) bool {
+		flops := float64(k) * 1e6
+		got := m.ComputeTime(flops)
+		want := sim.Time(flops / m.FlopsPerNS)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleComm(t *testing.T) {
+	m := PaperCluster()
+	s := m.ScaleComm(2)
+	if s.Net.O != 2*m.Net.O || s.Shm.G != 2*m.Shm.G || s.LoopbackG != 2*m.LoopbackG {
+		t.Fatal("comm scaling wrong")
+	}
+	if s.FlopsPerNS != m.FlopsPerNS {
+		t.Fatal("comm scaling must not touch compute")
+	}
+	if m.Net.O == s.Net.O {
+		t.Fatal("receiver mutated")
+	}
+}
+
+func TestScaleCompute(t *testing.T) {
+	m := PaperCluster()
+	s := m.ScaleCompute(0.5)
+	if s.FlopsPerNS != m.FlopsPerNS/2 {
+		t.Fatal("compute scaling wrong")
+	}
+	if s.Net.O != m.Net.O {
+		t.Fatal("compute scaling must not touch comm")
+	}
+}
+
+func TestConduitAMHeavierThanRDMA(t *testing.T) {
+	base := PaperCluster()
+	am := base.WithConduit(ConduitGASNetAM)
+	if am.Net.O <= base.Net.O || am.Net.G <= base.Net.G || am.LoopbackG <= base.LoopbackG {
+		t.Fatalf("AM conduit should be heavier: %+v vs %+v", am.Net, base.Net)
+	}
+	if am.Name == "" {
+		t.Fatal("no name")
+	}
+}
+
+func TestConduitIBVNoRecvOccupancy(t *testing.T) {
+	ibv := PaperCluster().WithConduit(ConduitGASNetIBV)
+	if ibv.RecvG != 0 {
+		t.Fatalf("IB verbs RecvG = %d, want 0 (pure RDMA write)", ibv.RecvG)
+	}
+	if ibv.LoopbackG != ibv.Net.G {
+		t.Fatalf("IB verbs loopback should cost one NIC gap, got %d vs %d", ibv.LoopbackG, ibv.Net.G)
+	}
+}

@@ -1,0 +1,197 @@
+package pgas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomicOpApply(t *testing.T) {
+	cases := []struct {
+		op   AtomicOp
+		old  int64
+		arg  int64
+		want int64
+	}{
+		{AtomicAdd, 5, 3, 8},
+		{AtomicAnd, 0b1100, 0b1010, 0b1000},
+		{AtomicOr, 0b1100, 0b1010, 0b1110},
+		{AtomicXor, 0b1100, 0b1010, 0b0110},
+	}
+	for _, c := range cases {
+		if got := c.op.apply(c.old, c.arg); got != c.want {
+			t.Fatalf("%v(%d,%d) = %d, want %d", c.op, c.old, c.arg, got, c.want)
+		}
+	}
+}
+
+func TestAtomicOpStrings(t *testing.T) {
+	for op, want := range map[AtomicOp]string{AtomicAdd: "add", AtomicAnd: "and", AtomicOr: "or", AtomicXor: "xor"} {
+		if op.String() != want {
+			t.Fatalf("%d.String() = %q", int(op), op.String())
+		}
+	}
+	if AtomicOp(9).String() == "" {
+		t.Fatal("unknown op must stringify")
+	}
+}
+
+func TestFetchOpFlagAllRoutes(t *testing.T) {
+	w := newTestWorld(t, 2, 2) // images 0,1 node 0; 2,3 node 1
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "atomics", 4)
+		if im.Rank() != 0 {
+			return
+		}
+		// Self.
+		if old := im.FetchOpFlag(fl, 0, 0, AtomicAdd, 5); old != 0 {
+			t.Errorf("self old = %d", old)
+		}
+		// Same node.
+		im.FetchOpFlag(fl, 1, 0, AtomicOr, 0b11)
+		if fl.Peek(1, 0) != 0b11 {
+			t.Errorf("intra-node or = %d", fl.Peek(1, 0))
+		}
+		// Remote node: value lands and the caller observes the old value.
+		if old := im.FetchOpFlag(fl, 2, 0, AtomicAdd, 7); old != 0 {
+			t.Errorf("remote old = %d", old)
+		}
+		if old := im.FetchOpFlag(fl, 2, 0, AtomicXor, 0b101); old != 7 {
+			t.Errorf("remote second old = %d, want 7", old)
+		}
+		if fl.Peek(2, 0) != (7 ^ 0b101) {
+			t.Errorf("remote value = %d", fl.Peek(2, 0))
+		}
+	})
+}
+
+func TestFetchOpChargesMoreRemotely(t *testing.T) {
+	w := newTestWorld(t, 2, 2)
+	var local, remote int64
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "atomcost", 1)
+		if im.Rank() != 0 {
+			return
+		}
+		t0 := im.Now()
+		im.FetchOpFlag(fl, 1, 0, AtomicAdd, 1) // same node
+		local = im.Now() - t0
+		t0 = im.Now()
+		im.FetchOpFlag(fl, 2, 0, AtomicAdd, 1) // remote
+		remote = im.Now() - t0
+	})
+	if remote <= local {
+		t.Fatalf("remote atomic (%d ns) not dearer than local (%d ns)", remote, local)
+	}
+}
+
+func TestCompareAndSwapFlag(t *testing.T) {
+	w := newTestWorld(t, 2, 2)
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "cas", 1)
+		if im.Rank() != 0 {
+			return
+		}
+		if old := im.CompareAndSwapFlag(fl, 3, 0, 0, 42); old != 0 {
+			t.Errorf("cas old = %d, want 0", old)
+		}
+		if fl.Peek(3, 0) != 42 {
+			t.Errorf("cas did not swap: %d", fl.Peek(3, 0))
+		}
+		// Failed CAS leaves the value alone.
+		if old := im.CompareAndSwapFlag(fl, 3, 0, 0, 99); old != 42 {
+			t.Errorf("failed cas old = %d, want 42", old)
+		}
+		if fl.Peek(3, 0) != 42 {
+			t.Errorf("failed cas mutated value: %d", fl.Peek(3, 0))
+		}
+	})
+}
+
+func TestCASMutualExclusion(t *testing.T) {
+	// A spinlock built from CAS: increments under the lock never race.
+	w := newTestWorld(t, 2, 4)
+	counter := 0
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "lock", 1)
+		for i := 0; i < 3; i++ {
+			for im.CompareAndSwapFlag(fl, 0, 0, 0, 1) != 0 {
+				im.Sleep(100)
+			}
+			counter++
+			// Release: plain one-sided store of 0 via CAS back.
+			if im.CompareAndSwapFlag(fl, 0, 0, 1, 0) != 1 {
+				t.Error("lock release failed")
+			}
+		}
+	})
+	if counter != 8*3 {
+		t.Fatalf("counter = %d, want 24", counter)
+	}
+}
+
+func TestEventsPostWaitQuery(t *testing.T) {
+	w := newTestWorld(t, 2, 2)
+	w.Run(func(im *Image) {
+		ev := NewEvents(w, "ev", 2)
+		switch im.Rank() {
+		case 0:
+			// Producer: post three times to image 3's event 1.
+			for i := 0; i < 3; i++ {
+				im.Post(ev, 3, 1, ViaAuto)
+			}
+		case 3:
+			im.WaitEvent(ev, 1, 2) // consume two
+			if q := im.QueryEvent(ev, 1); q > 1 {
+				t.Errorf("query after consuming 2 of 3 = %d", q)
+			}
+			im.WaitEvent(ev, 1, 1) // consume the third
+			if q := im.QueryEvent(ev, 1); q != 0 {
+				t.Errorf("query after consuming all = %d", q)
+			}
+		}
+	})
+}
+
+func TestEventsRepeatedCycles(t *testing.T) {
+	w := newTestWorld(t, 2, 1)
+	w.Run(func(im *Image) {
+		ev := NewEvents(w, "cycle", 1)
+		peer := 1 - im.Rank()
+		for round := 0; round < 5; round++ {
+			im.Post(ev, peer, 0, ViaAuto)
+			im.WaitEvent(ev, 0, 1)
+		}
+	})
+}
+
+// Property: any sequence of fetch-ops applied remotely matches the same
+// sequence applied to a plain integer.
+func TestFetchOpSequenceProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		if len(ops) > 20 {
+			ops = ops[:20]
+		}
+		w := newTestWorld(t, 2, 1)
+		want := int64(0)
+		ok := true
+		w.Run(func(im *Image) {
+			fl := NewFlags(w, "seq", 1)
+			if im.Rank() != 0 {
+				return
+			}
+			for _, o := range ops {
+				op := AtomicOp(o % 4)
+				operand := int64(o%7) + 1
+				im.FetchOpFlag(fl, 1, 0, op, operand)
+				want = op.apply(want, operand)
+			}
+			if fl.Peek(1, 0) != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package pgas
+
+import (
+	"fmt"
+
+	"cafteams/internal/sim"
+	"cafteams/internal/trace"
+)
+
+// Coarray is a symmetric shared data entity: every image in scope owns a
+// local slab of n elements, remotely addressable by (image, offset) — the
+// CAF "A(i)[k]" access pattern. Remote access goes through Put/Get below;
+// local access through Local is a plain slice.
+//
+// The element size (for transfer-cost accounting) is inferred for the
+// common numeric types and defaults to 8 bytes otherwise.
+type Coarray[T any] struct {
+	w        *World
+	name     string
+	n        int
+	elemSize int
+	data     [][]T
+	// members restricts which images own a slab (team-scoped coarrays
+	// allocated inside a change-team block). nil means all images.
+	members map[int]bool
+}
+
+// sizeOf infers the byte size of T for cost accounting.
+func sizeOf[T any]() int {
+	var z T
+	switch any(z).(type) {
+	case int8, uint8, bool:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// NewCoarray collectively allocates a coarray of n elements per image across
+// the whole world.
+func NewCoarray[T any](w *World, name string, n int) *Coarray[T] {
+	return newCoarrayOn[T](w, name, n, nil)
+}
+
+// NewTeamCoarray collectively allocates a coarray whose slabs exist only on
+// the given member images (global ranks) — the paper's "declare and allocate
+// coarrays within a change team block ... allocated only in the images
+// operating on it".
+func NewTeamCoarray[T any](w *World, name string, n int, members []int) *Coarray[T] {
+	return newCoarrayOn[T](w, name, n, members)
+}
+
+func newCoarrayOn[T any](w *World, name string, n int, members []int) *Coarray[T] {
+	if n <= 0 {
+		panic(fmt.Sprintf("pgas: coarray %q with %d elements", name, n))
+	}
+	return w.lookupOrCreate("coarray:"+name, func() interface{} {
+		c := &Coarray[T]{w: w, name: name, n: n, elemSize: sizeOf[T]()}
+		c.data = make([][]T, w.NumImages())
+		if members == nil {
+			for i := range c.data {
+				c.data[i] = make([]T, n)
+			}
+		} else {
+			c.members = make(map[int]bool, len(members))
+			for _, m := range members {
+				c.members[m] = true
+				c.data[m] = make([]T, n)
+			}
+		}
+		return c
+	}).(*Coarray[T])
+}
+
+// Name returns the allocation name.
+func (c *Coarray[T]) Name() string { return c.name }
+
+// Len returns the per-image element count.
+func (c *Coarray[T]) Len() int { return c.n }
+
+// OwnedBy reports whether image rank owns a slab of this coarray.
+func (c *Coarray[T]) OwnedBy(rank int) bool {
+	return c.members == nil || c.members[rank]
+}
+
+func (c *Coarray[T]) slab(rank int) []T {
+	s := c.data[rank]
+	if s == nil {
+		panic(fmt.Sprintf("pgas: image %d does not own coarray %q (team-scoped allocation)", rank, c.name))
+	}
+	return s
+}
+
+// Local returns this image's own slab for direct computation. No simulated
+// cost is charged; local compute is charged separately via Image.Compute.
+func Local[T any](c *Coarray[T], im *Image) []T { return c.slab(im.rank) }
+
+// Put copies src into target's slab at offset off — the CAF assignment
+// "A(off:off+len)[target] = src". It is one-sided and non-blocking: the
+// caller is charged injection overhead and may proceed; delivery lands
+// later (use Image.Quiet or a flag notification for completion, issued
+// after the Put so delivery order per image pair is preserved).
+func Put[T any](im *Image, c *Coarray[T], target, off int, src []T, via Via) {
+	dst := c.slab(target)
+	if off < 0 || off+len(src) > len(dst) {
+		panic(fmt.Sprintf("pgas: put %q [%d:%d) outside [0:%d)", c.name, off, off+len(src), len(dst)))
+	}
+	buf := make([]T, len(src))
+	copy(buf, src)
+	nbytes := len(src) * c.elemSize
+	deliver, inter := im.route(target, nbytes, via)
+	im.w.stats.Message(trace.OpPut, !inter && target != im.rank, target == im.rank, nbytes)
+	im.deliverAt(deliver, func() {
+		copy(dst[off:], buf)
+	})
+}
+
+// Get copies length len(dst) from target's slab at offset off into dst — the
+// CAF read "dst = A(off:...)[target]". It blocks the caller until the data
+// has arrived (CAF gets are blocking).
+func Get[T any](im *Image, c *Coarray[T], target, off int, dst []T) {
+	src := c.slab(target)
+	if off < 0 || off+len(dst) > len(src) {
+		panic(fmt.Sprintf("pgas: get %q [%d:%d) outside [0:%d)", c.name, off, off+len(dst), len(src)))
+	}
+	w := im.w
+	m := w.model
+	nbytes := len(dst) * c.elemSize
+	sameNode := im.SameNode(target)
+	im.w.stats.Message(trace.OpGet, sameNode && target != im.rank, target == im.rank, nbytes)
+	if target == im.rank {
+		im.proc.Sleep(m.MemTime(nbytes))
+		copy(dst, src[off:])
+		return
+	}
+	if sameNode {
+		// Direct shared-memory read.
+		im.proc.Sleep(m.Shm.O)
+		dur := m.Shm.G + m.Shm.ByteTime(nbytes)
+		start := w.membus[im.node].Occupy(im.Now(), dur)
+		im.proc.Sleep(start + dur + m.Shm.L - im.Now())
+		copy(dst, src[off:])
+		return
+	}
+	// Remote get: small request out, payload back.
+	im.proc.Sleep(m.Net.O)
+	now := im.Now()
+	reqDur := m.Net.G
+	reqStart := w.nic[im.node].Occupy(now, reqDur)
+	reqArrive := reqStart + reqDur + m.Net.L
+	dstNode := w.topo.NodeOf(target)
+	respDur := m.Net.G + m.Net.ByteTime(nbytes)
+	respStart := w.nic[dstNode].Occupy(reqArrive, respDur)
+	back := respStart + respDur + m.Net.L
+	bstart := w.nic[im.node].Occupy(back, m.Net.G)
+	done := false
+	var cnd sim.Cond
+	w.env.Schedule(bstart+m.Net.G, func() {
+		copy(dst, src[off:])
+		done = true
+		cnd.Wake(w.env)
+	})
+	cnd.Wait(im.proc, fmt.Sprintf("get %q from %d", c.name, target), func() bool { return done })
+}
+
+// PutThenNotify performs a Put followed by a flag notification to the same
+// target, guaranteeing the flag lands after the data (ordered delivery on
+// one conduit path per image pair — the standard put+flag idiom the
+// hierarchy-aware collectives use).
+func PutThenNotify[T any](im *Image, c *Coarray[T], target, off int, src []T, f *Flags, idx int, delta int64, via Via) {
+	dst := c.slab(target)
+	if off < 0 || off+len(src) > len(dst) {
+		panic(fmt.Sprintf("pgas: put %q [%d:%d) outside [0:%d)", c.name, off, off+len(src), len(dst)))
+	}
+	buf := make([]T, len(src))
+	copy(buf, src)
+	nbytes := len(src) * c.elemSize
+	deliverData, inter := im.route(target, nbytes, via)
+	im.w.stats.Message(trace.OpPut, !inter && target != im.rank, target == im.rank, nbytes)
+	deliverFlag, _ := im.route(target, 8, via)
+	im.w.stats.Message(trace.OpNotify, !inter && target != im.rank, target == im.rank, 8)
+	if deliverFlag < deliverData {
+		deliverFlag = deliverData // ordered delivery per pair
+	}
+	im.deliverAt(deliverData, func() {
+		copy(dst[off:], buf)
+	})
+	im.deliverAt(deliverFlag, func() {
+		f.data[target][idx] += delta
+		f.cond[target].Wake(im.w.env)
+	})
+}

@@ -1,0 +1,106 @@
+package pgas
+
+import (
+	"fmt"
+
+	"cafteams/internal/sim"
+	"cafteams/internal/trace"
+)
+
+// Flags is a symmetric array of int64 synchronization flags: every image
+// owns a row of slots. Remote notifications (set or add) are one-sided puts
+// of 8 bytes; local waits block until a slot reaches a threshold.
+//
+// Flags are used as monotonically increasing counters, which gives the
+// "sync_flags carry" the paper's dissemination barrier exploits: an episode
+// never resets flags, it just raises the threshold, so one wait suffices and
+// late notifications from a previous episode can never be confused with the
+// current one.
+type Flags struct {
+	w    *World
+	name string
+	data [][]int64
+	cond []sim.Cond
+}
+
+// NewFlags allocates a flags array with slots slots per image. Like a
+// coarray allocation this is logically collective; in the simulator the
+// first image to reach it creates the shared object (World.lookupOrCreate
+// makes this deterministic).
+func NewFlags(w *World, name string, slots int) *Flags {
+	if slots <= 0 {
+		panic(fmt.Sprintf("pgas: flags %q with %d slots", name, slots))
+	}
+	return w.lookupOrCreate("flags:"+name, func() interface{} {
+		f := &Flags{w: w, name: name}
+		f.data = make([][]int64, w.NumImages())
+		f.cond = make([]sim.Cond, w.NumImages())
+		for i := range f.data {
+			f.data[i] = make([]int64, slots)
+		}
+		return f
+	}).(*Flags)
+}
+
+// Name returns the allocation name.
+func (f *Flags) Name() string { return f.name }
+
+// Slots returns the per-image slot count.
+func (f *Flags) Slots() int { return len(f.data[0]) }
+
+// Peek returns the current value of a slot without synchronization or cost;
+// for tests and local fast-path checks.
+func (f *Flags) Peek(owner, idx int) int64 { return f.data[owner][idx] }
+
+// NotifyAdd atomically adds delta to flag idx on image target, as a
+// non-blocking one-sided operation over the given path. The caller is
+// charged injection overhead only; delivery happens asynchronously.
+func (im *Image) NotifyAdd(f *Flags, target, idx int, delta int64, via Via) {
+	deliver, inter := im.route(target, 8, via)
+	im.w.stats.Message(trace.OpNotify, !inter && target != im.rank, target == im.rank, 8)
+	im.deliverAt(deliver, func() {
+		f.data[target][idx] += delta
+		f.cond[target].Wake(im.w.env)
+	})
+}
+
+// NotifySet stores val into flag idx on image target (one-sided,
+// non-blocking). Useful for episode stamps where the value encodes the
+// episode number.
+func (im *Image) NotifySet(f *Flags, target, idx int, val int64, via Via) {
+	deliver, inter := im.route(target, 8, via)
+	im.w.stats.Message(trace.OpNotify, !inter && target != im.rank, target == im.rank, 8)
+	im.deliverAt(deliver, func() {
+		if f.data[target][idx] < val {
+			f.data[target][idx] = val
+		}
+		f.cond[target].Wake(im.w.env)
+	})
+}
+
+// SetLocal sets this image's own flag without modeling cost (a plain local
+// store).
+func (im *Image) SetLocal(f *Flags, idx int, val int64) {
+	f.data[im.rank][idx] = val
+	f.cond[im.rank].Wake(im.w.env)
+}
+
+// WaitFlagGE blocks this image until flag idx on image owner is >= min.
+// Waiting on another image's flags is only meaningful on the same node
+// (shared memory); the runtime enforces that, matching what real hardware
+// permits.
+func (im *Image) WaitFlagGE(f *Flags, owner, idx int, min int64) {
+	if owner != im.rank && !im.SameNode(owner) {
+		panic(fmt.Sprintf("pgas: image %d waits on flags of remote image %d", im.rank, owner))
+	}
+	f.cond[owner].Wait(im.proc, fmt.Sprintf("flag %s[%d][%d]>=%d", f.name, owner, idx, min),
+		func() bool { return f.data[owner][idx] >= min })
+}
+
+// FetchAddFlag performs a blocking remote atomic fetch-and-add on a flag
+// slot, returning the previous value. Models the CAF atomic_add intrinsic
+// on an integer coarray element; see FetchOpFlag for the full atomic
+// family.
+func (im *Image) FetchAddFlag(f *Flags, target, idx int, delta int64) int64 {
+	return im.FetchOpFlag(f, target, idx, AtomicAdd, delta)
+}

@@ -1,0 +1,173 @@
+// Package pgas implements the simulated PGAS (Partitioned Global Address
+// Space) runtime: SPMD images, symmetric-heap coarrays, one-sided Put/Get,
+// remote atomics, and synchronization flags with "carry" semantics (wait on
+// a monotonically increasing counter — the single-wait structure the paper's
+// dissemination barrier relies on).
+//
+// Images execute as simulated processes (internal/sim) and every remote
+// operation is charged through the machine model (internal/machine), with
+// serialization through per-node resources:
+//
+//   - nic[n]: the node's network interface; all inter-node messages occupy
+//     it on both the sending and receiving side (LogGP gap).
+//   - progress[n]: the conduit's software progress engine; intra-node
+//     messages sent through the *portable conduit path* (how the paper's
+//     flat, hierarchy-oblivious collectives address every peer) serialize
+//     through it — this is the paper's "on a shared memory system, in the
+//     worst case, all those notifications would have to be serialized".
+//   - membus[n]: the shared-memory path used by hierarchy-aware algorithms
+//     for peers they know to be on the same node; far cheaper.
+//
+// The distinction between the conduit path and the shared-memory path is
+// exactly the lever the paper's two-level methodology exploits.
+package pgas
+
+import (
+	"fmt"
+
+	"cafteams/internal/machine"
+	"cafteams/internal/sim"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// Via selects the transport path for a one-sided operation.
+type Via int
+
+const (
+	// ViaConduit is the portable one-sided path (GASNet put in the
+	// paper): it works for any target but pays conduit costs even for
+	// on-node peers.
+	ViaConduit Via = iota
+	// ViaShm is the direct shared-memory path; valid only when source and
+	// target share a node. Hierarchy-aware algorithms use it for their
+	// intra-node phases.
+	ViaShm
+	// ViaAuto picks ViaShm when the peers share a node, ViaConduit
+	// otherwise. This is what a memory-hierarchy-aware runtime does for
+	// point-to-point traffic.
+	ViaAuto
+)
+
+func (v Via) String() string {
+	switch v {
+	case ViaConduit:
+		return "conduit"
+	case ViaShm:
+		return "shm"
+	case ViaAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("via(%d)", int(v))
+	}
+}
+
+// World is one SPMD program instance: a set of images placed on a simulated
+// cluster. All images share the World object; per-image state lives in
+// Image.
+type World struct {
+	env   *sim.Env
+	model *machine.Model
+	topo  *topology.Topology
+	stats *trace.Stats
+
+	images   []*Image
+	nic      []*sim.Resource // per node
+	progress []*sim.Resource // per node, conduit software path
+	membus   []*sim.Resource // per node, shared-memory path
+
+	registry map[string]interface{} // world-wide named objects (teams, flags)
+}
+
+// NewWorld creates a world with one image per placed rank in topo. The
+// caller launches image bodies with Launch.
+func NewWorld(env *sim.Env, model *machine.Model, topo *topology.Topology, stats *trace.Stats) (*World, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if stats == nil {
+		stats = trace.New()
+	}
+	w := &World{
+		env:      env,
+		model:    model,
+		topo:     topo,
+		stats:    stats,
+		registry: make(map[string]interface{}),
+	}
+	for n := 0; n < topo.NumNodes(); n++ {
+		w.nic = append(w.nic, sim.NewResource(fmt.Sprintf("nic%d", n)))
+		w.progress = append(w.progress, sim.NewResource(fmt.Sprintf("progress%d", n)))
+		w.membus = append(w.membus, sim.NewResource(fmt.Sprintf("membus%d", n)))
+	}
+	for r := 0; r < topo.NumImages(); r++ {
+		w.images = append(w.images, &Image{
+			w:    w,
+			rank: r,
+			node: topo.NodeOf(r),
+		})
+	}
+	return w, nil
+}
+
+// Env returns the simulation environment.
+func (w *World) Env() *sim.Env { return w.env }
+
+// Model returns the machine model.
+func (w *World) Model() *machine.Model { return w.model }
+
+// Topology returns the cluster topology.
+func (w *World) Topology() *topology.Topology { return w.topo }
+
+// Stats returns the statistics collector.
+func (w *World) Stats() *trace.Stats { return w.stats }
+
+// NumImages returns the number of images in the world (the initial team
+// size).
+func (w *World) NumImages() int { return len(w.images) }
+
+// Image returns image rank r (0-based).
+func (w *World) Image(r int) *Image { return w.images[r] }
+
+// Launch spawns every image running body and returns after all are
+// scheduled; drive the simulation with Env().Run.
+func (w *World) Launch(body func(img *Image)) {
+	for _, img := range w.images {
+		img := img
+		w.env.Spawn(fmt.Sprintf("image%d", img.rank), func(p *sim.Proc) {
+			img.proc = p
+			body(img)
+		})
+	}
+}
+
+// Run launches body on every image and drives the simulation to completion,
+// returning the simulated end time. It panics on simulated deadlock (a
+// correctness bug in the parallel program).
+func (w *World) Run(body func(img *Image)) sim.Time {
+	w.Launch(body)
+	if err := w.env.Run(0); err != nil {
+		panic(err)
+	}
+	return w.env.Now()
+}
+
+// lookupOrCreate returns the named world object, creating it with mk on
+// first use. The simulation is single-threaded, so no locking is needed; the
+// first image to reach a collective allocation creates the shared object and
+// later arrivals attach to it.
+func (w *World) lookupOrCreate(key string, mk func() interface{}) interface{} {
+	if v, ok := w.registry[key]; ok {
+		return v
+	}
+	v := mk()
+	w.registry[key] = v
+	return v
+}
+
+// LookupOrCreate exposes the world-wide named-object registry to the layers
+// above (teams, collective scratch state). The first image to reach a
+// collective allocation creates the shared object; later arrivals attach.
+func LookupOrCreate(w *World, key string, mk func() interface{}) interface{} {
+	return w.lookupOrCreate(key, mk)
+}

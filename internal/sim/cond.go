@@ -1,0 +1,51 @@
+package sim
+
+// Cond is a broadcast condition variable in simulated time. Processes wait
+// with a predicate; whenever the owning state changes, the mutator calls
+// Wake and every waiter whose predicate is now satisfied resumes (at the
+// current timestamp, in registration order). This is the mechanism behind
+// PGAS sync flags: a remote Put delivery mutates a flag cell and wakes the
+// images spinning on it.
+type Cond struct {
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p    *Proc
+	pred func() bool
+}
+
+// Wait blocks the calling process until pred() is true. pred is evaluated
+// immediately; if already true the process does not block. why labels the
+// wait in deadlock reports.
+func (c *Cond) Wait(p *Proc, why string, pred func() bool) {
+	if pred() {
+		return
+	}
+	w := &condWaiter{p: p, pred: pred}
+	c.waiters = append(c.waiters, w)
+	p.block(why)
+}
+
+// Wake re-evaluates every waiter's predicate and schedules satisfied waiters
+// to resume at the current time. Must be called from scheduler context (an
+// event function) or from a running process after mutating the guarded
+// state.
+func (c *Cond) Wake(e *Env) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.pred() {
+			pw := w.p
+			e.Schedule(e.now, func() { e.runProc(pw) })
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+// Waiting reports how many processes are currently blocked on the condition.
+func (c *Cond) Waiting() int { return len(c.waiters) }

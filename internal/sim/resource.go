@@ -1,0 +1,47 @@
+package sim
+
+// Resource models a serializing hardware resource (a NIC injection port, a
+// memory controller handling notification traffic). Acquiring the resource
+// does not block the caller; it computes when the request would actually
+// start given everything already admitted, in FIFO order. This is the "gap"
+// (g) term of the LogGP model: back-to-back messages through the same
+// resource are separated by at least their occupancy.
+type Resource struct {
+	Name string
+	free Time // earliest time the resource is idle again
+	// busy accumulates total occupied time, for utilization reporting.
+	busy Time
+	uses int64
+}
+
+// NewResource returns an idle resource.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Occupy admits a request of duration dur at time now and returns the time
+// at which the request actually starts (>= now). The resource is marked busy
+// for [start, start+dur).
+func (r *Resource) Occupy(now Time, dur Time) (start Time) {
+	if dur < 0 {
+		dur = 0
+	}
+	start = now
+	if r.free > start {
+		start = r.free
+	}
+	r.free = start + dur
+	r.busy += dur
+	r.uses++
+	return start
+}
+
+// FreeAt returns the earliest time the resource is idle.
+func (r *Resource) FreeAt() Time { return r.free }
+
+// BusyTime returns the total time the resource has been occupied.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Uses returns how many requests have been admitted.
+func (r *Resource) Uses() int64 { return r.uses }
+
+// Reset returns the resource to idle and clears statistics.
+func (r *Resource) Reset() { r.free, r.busy, r.uses = 0, 0, 0 }

@@ -1,0 +1,217 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// Simulated processes run as goroutines, but only one process executes at a
+// time: the scheduler resumes a process, and the process yields back to the
+// scheduler whenever it blocks (sleeping, waiting on a condition) or
+// terminates. Events are ordered by (time, sequence number), so a simulation
+// is fully deterministic and repeatable regardless of Go scheduling.
+//
+// The kernel is the substrate on which the PGAS runtime models a cluster:
+// simulated time stands in for wall-clock time on the machine described by
+// the paper's evaluation (a 44-node InfiniBand cluster).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds.
+type Time = int64
+
+// Common durations, in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: an event queue, a clock, and a set of
+// processes. An Env must not be shared across concurrently running
+// simulations; create one per simulation.
+type Env struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+	yield chan struct{} // process -> scheduler handshake
+	procs []*Proc
+	// panicked records a panic escaping a process so Run can re-raise it
+	// on the scheduler goroutine, where the test harness sees it.
+	panicked interface{}
+	hasPanic bool
+}
+
+// NewEnv returns an empty simulation environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Env) Now() Time { return e.now }
+
+// Schedule registers fn to run at absolute simulated time at. Scheduling in
+// the past is treated as "now". Events scheduled at the same time run in
+// scheduling order.
+func (e *Env) Schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run d nanoseconds from now.
+func (e *Env) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Proc is a simulated process. All Proc methods must be called from the
+// process's own goroutine while it is the running process.
+type Proc struct {
+	env    *Env
+	ID     int
+	Name   string
+	resume chan struct{}
+	done   bool
+	// blockedOn describes what the process is waiting for; used in
+	// deadlock reports.
+	blockedOn string
+}
+
+// Spawn creates a process executing fn. The process starts at the current
+// simulated time, after already-queued events at this timestamp.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, ID: len(e.procs), Name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked = r
+				e.hasPanic = true
+			}
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// runProc transfers control to p until it yields. Called only from the
+// scheduler goroutine (inside event fns).
+func (e *Env) runProc(p *Proc) {
+	if p.done {
+		return
+	}
+	p.blockedOn = ""
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// block yields control back to the scheduler and waits to be resumed.
+func (p *Proc) block(why string) {
+	p.blockedOn = why
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Env returns the environment this process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Sleep advances the process by d simulated nanoseconds. Other processes and
+// events run in the meantime. Non-positive durations yield the processor
+// without advancing time (events already queued at the current time run
+// first).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	e.Schedule(e.now+d, func() { e.runProc(p) })
+	p.block(fmt.Sprintf("sleep(%d)", d))
+}
+
+// Yield lets all events queued at the current timestamp run before the
+// process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// DeadlockError reports a simulation that ran out of events while processes
+// were still blocked.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // "name: reason" for each blocked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%d with %d blocked processes: %v",
+		d.At, len(d.Blocked), d.Blocked)
+}
+
+// Run executes events until the queue is empty or until limit (if positive)
+// is reached. It returns a *DeadlockError if the queue drains while spawned
+// processes are still blocked. A panic inside a process is re-raised on the
+// caller's goroutine.
+func (e *Env) Run(limit Time) error {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if limit > 0 && ev.at > limit {
+			e.now = limit
+			return nil
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.hasPanic {
+			panic(e.panicked)
+		}
+	}
+	var blocked []string
+	for _, p := range e.procs {
+		if !p.done {
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.Name, p.blockedOn))
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{At: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// RunAll executes the simulation to completion and panics on deadlock.
+// Intended for examples and benchmarks where a deadlock is a bug.
+func (e *Env) RunAll() {
+	if err := e.Run(0); err != nil {
+		panic(err)
+	}
+}

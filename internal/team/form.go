@@ -1,0 +1,130 @@
+package team
+
+import (
+	"fmt"
+	"sort"
+
+	"cafteams/internal/pgas"
+)
+
+// formExchange is the shared rendezvous for one formation episode: each
+// member deposits its requested team number and optional new index before
+// synchronizing.
+type formExchange struct {
+	number []int64
+	newIdx []int
+}
+
+// formEpochs tracks, per member, how many form-team episodes the member has
+// completed on a given team; members of the same episode rendezvous under
+// the same epoch.
+type formEpochs struct{ count []int64 }
+
+// Form performs the CAF "form team (number, team_var)" statement: a
+// collective over this team that splits it into sibling subteams, one per
+// distinct number. newIndex requests this image's rank within the new team
+// (0-based); pass -1 to keep the parent-team relative order (the standard's
+// default). Form returns this image's view of its new team.
+//
+// The exchange is implemented the way a runtime without a-priori knowledge
+// must do it: every member ships its (number, newIndex) pair to the team's
+// first member and waits for the combined result — a linear gather plus a
+// linear release, 2(n−1) small messages, matching the cost of a
+// communicator-split style implementation.
+func (v *View) Form(number int64, newIndex int) *View {
+	if number <= 0 {
+		panic(fmt.Sprintf("team: form with non-positive team number %d", number))
+	}
+	t := v.T
+	w := t.w
+	n := t.Size()
+
+	ep := pgas.LookupOrCreate(w, fmt.Sprintf("team:formepochs:%d", t.id), func() interface{} {
+		return &formEpochs{count: make([]int64, n)}
+	}).(*formEpochs)
+	ep.count[v.Rank]++
+	episode := ep.count[v.Rank]
+
+	exKey := fmt.Sprintf("team:formex:%d:%d", t.id, episode)
+	ex := pgas.LookupOrCreate(w, exKey, func() interface{} {
+		return &formExchange{number: make([]int64, n), newIdx: make([]int, n)}
+	}).(*formExchange)
+	ex.number[v.Rank] = number
+	ex.newIdx[v.Rank] = newIndex
+
+	// Linear gather at member 0, then linear release: flag slot 0 counts
+	// arrivals at the root, slot 1 carries the release stamp. Carry
+	// semantics (monotone counters) mean no resets between episodes.
+	fl := pgas.NewFlags(w, fmt.Sprintf("team:form:%d", t.id), 2)
+	rootGlobal := t.GlobalRank(0)
+	if v.Rank == 0 {
+		v.Img.WaitFlagGE(fl, rootGlobal, 0, (episode)*int64(n-1))
+		for r := 1; r < n; r++ {
+			v.Img.NotifySet(fl, t.GlobalRank(r), 1, episode, pgas.ViaAuto)
+		}
+	} else {
+		v.Img.NotifyAdd(fl, rootGlobal, 0, 1, pgas.ViaAuto)
+		v.Img.WaitFlagGE(fl, v.Img.Rank(), 1, episode)
+	}
+
+	// Everyone now sees the full exchange; compute the member list of the
+	// subteam this image joins, deterministically.
+	type entry struct {
+		parentRank int
+		newIdx     int
+	}
+	var mine []entry
+	for r := 0; r < n; r++ {
+		if ex.number[r] == number {
+			mine = append(mine, entry{parentRank: r, newIdx: ex.newIdx[r]})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		a, b := mine[i], mine[j]
+		ai, bi := a.newIdx, b.newIdx
+		if ai >= 0 && bi >= 0 && ai != bi {
+			return ai < bi
+		}
+		if (ai >= 0) != (bi >= 0) {
+			return ai >= 0 // explicit indices come first
+		}
+		return a.parentRank < b.parentRank
+	})
+	members := make([]int, len(mine))
+	for i, e := range mine {
+		members[i] = t.GlobalRank(e.parentRank)
+	}
+
+	teamKey := fmt.Sprintf("team:formed:%d:%d:%d", t.id, episode, number)
+	nt := pgas.LookupOrCreate(w, teamKey, func() interface{} {
+		return build(w, nextTeamID(w), number, t, members)
+	}).(*Team)
+	return &View{T: nt, Rank: nt.rankOf[v.Img.Rank()], Img: v.Img}
+}
+
+// FormByNode splits the team into one subteam per physical node — a
+// convenience built on Form using the node index as the team number. The
+// runtime's hierarchy awareness makes this the natural "intranode team".
+func (v *View) FormByNode() *View {
+	node := v.T.w.Topology().NodeOf(v.Img.Rank())
+	return v.Form(int64(node)+1, -1)
+}
+
+// Grid splits the team into row and column teams of a P×Q process grid in
+// row-major order (rank = row*q + col), the decomposition the HPL port
+// uses. It returns this image's row team and column team views.
+func (v *View) Grid(p, q int) (row, col *View, err error) {
+	if p*q != v.T.Size() {
+		return nil, nil, fmt.Errorf("team: grid %dx%d does not match team size %d", p, q, v.T.Size())
+	}
+	r := v.Rank / q
+	c := v.Rank % q
+	row = v.Form(int64(r)+1, c)
+	col = row2col(v, p, q, r, c)
+	return row, col, nil
+}
+
+// row2col forms the column team in a second formation episode.
+func row2col(v *View, p, q, r, c int) *View {
+	return v.Form(int64(c)+1, r)
+}

@@ -1,0 +1,233 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockPlacementFillsNodes(t *testing.T) {
+	topo, err := New(4, 2, 4, 32, PlaceBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for img := 0; img < 32; img++ {
+		if got, want := topo.NodeOf(img), img/8; got != want {
+			t.Fatalf("image %d on node %d, want %d", img, got, want)
+		}
+	}
+}
+
+func TestCyclicPlacementDealsRoundRobin(t *testing.T) {
+	topo, err := New(4, 2, 4, 16, PlaceCyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for img := 0; img < 16; img++ {
+		if got, want := topo.NodeOf(img), img%4; got != want {
+			t.Fatalf("image %d on node %d, want %d", img, got, want)
+		}
+	}
+}
+
+func TestSocketAssignment(t *testing.T) {
+	topo, err := New(1, 2, 4, 8, PlaceBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for img := 0; img < 8; img++ {
+		_, sock := topo.SocketOf(img)
+		if want := img / 4; sock != want {
+			t.Fatalf("image %d on socket %d, want %d", img, sock, want)
+		}
+	}
+}
+
+func TestCapacityExceeded(t *testing.T) {
+	if _, err := New(2, 2, 2, 9, PlaceBlock); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestBadShapes(t *testing.T) {
+	if _, err := New(0, 1, 1, 1, PlaceBlock); err == nil {
+		t.Fatal("accepted zero nodes")
+	}
+	if _, err := New(1, 1, 1, 0, PlaceBlock); err == nil {
+		t.Fatal("accepted zero images")
+	}
+	if _, err := New(1, 1, 1, 1, Placement(42)); err == nil {
+		t.Fatal("accepted unknown placement")
+	}
+}
+
+func TestSameNodeSameSocket(t *testing.T) {
+	topo, err := New(2, 2, 2, 8, PlaceBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.SameNode(0, 3) {
+		t.Fatal("images 0 and 3 should share node 0")
+	}
+	if topo.SameNode(0, 4) {
+		t.Fatal("images 0 and 4 should be on different nodes")
+	}
+	if !topo.SameSocket(0, 1) {
+		t.Fatal("images 0 and 1 should share a socket")
+	}
+	if topo.SameSocket(0, 2) {
+		t.Fatal("images 0 and 2 should be on different sockets")
+	}
+}
+
+func TestImagesOnNode(t *testing.T) {
+	topo, err := New(3, 1, 4, 10, PlaceBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := topo.ImagesOnNode(2)
+	want := []int{8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("ImagesOnNode(2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ImagesOnNode(2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUsedNodes(t *testing.T) {
+	topo, err := New(10, 1, 8, 12, PlaceBlock) // only nodes 0 and 1 used
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := topo.UsedNodes()
+	if len(used) != 2 || used[0] != 0 || used[1] != 1 {
+		t.Fatalf("UsedNodes = %v, want [0 1]", used)
+	}
+}
+
+func TestParseSpecPaperConfigs(t *testing.T) {
+	cases := []struct {
+		spec            string
+		images, nodes   int
+		imagesFirstNode int
+	}{
+		{"4(4)", 4, 4, 1},
+		{"16(16)", 16, 16, 1},
+		{"16(2)", 16, 2, 8},
+		{"64(8)", 64, 8, 8},
+		{"256(32)", 256, 32, 8},
+	}
+	for _, c := range cases {
+		topo, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if topo.NumImages() != c.images {
+			t.Fatalf("%s: images = %d, want %d", c.spec, topo.NumImages(), c.images)
+		}
+		if topo.NumNodes() != c.nodes {
+			t.Fatalf("%s: nodes = %d, want %d", c.spec, topo.NumNodes(), c.nodes)
+		}
+		if got := len(topo.ImagesOnNode(0)); got != c.imagesFirstNode {
+			t.Fatalf("%s: first node holds %d images, want %d", c.spec, got, c.imagesFirstNode)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{"", "64", "(8)", "64(", "64)8(", "x(8)", "64(y)", "0(4)", "4(0)"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewCustomRejectsConflicts(t *testing.T) {
+	_, err := NewCustom(2, 1, 4, []Loc{{Node: 0, Core: 1}, {Node: 0, Core: 1}})
+	if err == nil {
+		t.Fatal("accepted two images on one core")
+	}
+	_, err = NewCustom(2, 1, 4, []Loc{{Node: 5, Core: 0}})
+	if err == nil {
+		t.Fatal("accepted out-of-range node")
+	}
+	_, err = NewCustom(2, 1, 4, []Loc{{Node: 0, Socket: 3, Core: 0}})
+	if err == nil {
+		t.Fatal("accepted out-of-range socket")
+	}
+	_, err = NewCustom(2, 1, 4, nil)
+	if err == nil {
+		t.Fatal("accepted empty placement")
+	}
+}
+
+func TestNewCustomCopiesInput(t *testing.T) {
+	locs := []Loc{{Node: 0, Core: 0}, {Node: 1, Core: 0}}
+	topo, err := NewCustom(2, 1, 4, locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs[0].Node = 1 // mutate caller's slice
+	if topo.NodeOf(0) != 0 {
+		t.Fatal("NewCustom aliases the caller's slice")
+	}
+}
+
+func TestStringMentionsShape(t *testing.T) {
+	topo, _ := New(2, 2, 4, 8, PlaceBlock)
+	s := topo.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlaceBlock.String() != "block" || PlaceCyclic.String() != "cyclic" {
+		t.Fatal("placement names wrong")
+	}
+	if Placement(7).String() == "" {
+		t.Fatal("unknown placement should still stringify")
+	}
+}
+
+// Property: for any valid shape, every image lands on a valid core and no
+// two images share one, under both placements.
+func TestPlacementInjectiveProperty(t *testing.T) {
+	f := func(nodesRaw, socketsRaw, coresRaw, imagesRaw uint8, cyclic bool) bool {
+		nodes := int(nodesRaw%8) + 1
+		sockets := int(socketsRaw%4) + 1
+		cores := int(coresRaw%8) + 1
+		capacity := nodes * sockets * cores
+		images := int(imagesRaw)%capacity + 1
+		place := PlaceBlock
+		if cyclic {
+			place = PlaceCyclic
+		}
+		topo, err := New(nodes, sockets, cores, images, place)
+		if err != nil {
+			return false
+		}
+		type slot struct{ node, core int }
+		seen := make(map[slot]bool)
+		for img := 0; img < images; img++ {
+			l := topo.LocOf(img)
+			if l.Node < 0 || l.Node >= nodes || l.Core < 0 || l.Core >= sockets*cores {
+				return false
+			}
+			if l.Socket != l.Core/cores {
+				return false
+			}
+			s := slot{l.Node, l.Core}
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package trace collects communication statistics from a simulated PGAS run:
+// message counts and byte volumes split by hierarchy level (intra-node vs
+// inter-node), per-operation counters, and simple time accounting.
+//
+// The paper's analysis argues in message counts — n·log n notifications for
+// the dissemination barrier versus 2(n−1) for the centralized linear one —
+// so the tracer makes those counts observable and testable (experiment E8).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op names a traced operation kind.
+type Op string
+
+// Operation kinds recorded by the runtime.
+const (
+	OpPut       Op = "put"
+	OpGet       Op = "get"
+	OpAtomic    Op = "atomic"
+	OpNotify    Op = "notify" // flag puts used by synchronization
+	OpWait      Op = "wait"
+	OpCompute   Op = "compute"
+	OpBarrier   Op = "barrier"
+	OpReduce    Op = "reduce"
+	OpBroadcast Op = "broadcast"
+)
+
+// Stats accumulates counters. Safe for use from a single simulation
+// scheduler; the mutex exists so benchmarks reading snapshots concurrently
+// with other runs stay race-free.
+type Stats struct {
+	mu sync.Mutex
+
+	intraMsgs  int64
+	interMsgs  int64
+	intraBytes int64
+	interBytes int64
+	selfMsgs   int64
+	ops        map[Op]int64
+}
+
+// New returns an empty statistics collector.
+func New() *Stats {
+	return &Stats{ops: make(map[Op]int64)}
+}
+
+// Message records one point-to-point transfer of n payload bytes. sameNode
+// classifies the hierarchy level; self marks an image messaging itself.
+func (s *Stats) Message(op Op, sameNode, self bool, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops[op]++
+	if self {
+		s.selfMsgs++
+		return
+	}
+	if sameNode {
+		s.intraMsgs++
+		s.intraBytes += int64(n)
+	} else {
+		s.interMsgs++
+		s.interBytes += int64(n)
+	}
+}
+
+// Count bumps a bare operation counter (barrier entries, compute blocks...).
+func (s *Stats) Count(op Op) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops[op]++
+}
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	IntraMsgs  int64
+	InterMsgs  int64
+	IntraBytes int64
+	InterBytes int64
+	SelfMsgs   int64
+	Ops        map[Op]int64
+}
+
+// TotalMsgs returns all off-image messages (intra + inter node).
+func (sn Snapshot) TotalMsgs() int64 { return sn.IntraMsgs + sn.InterMsgs }
+
+// Snapshot returns a copy of the current counters.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ops := make(map[Op]int64, len(s.ops))
+	for k, v := range s.ops {
+		ops[k] = v
+	}
+	return Snapshot{
+		IntraMsgs:  s.intraMsgs,
+		InterMsgs:  s.interMsgs,
+		IntraBytes: s.intraBytes,
+		InterBytes: s.interBytes,
+		SelfMsgs:   s.selfMsgs,
+		Ops:        ops,
+	}
+}
+
+// Reset clears all counters.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.intraMsgs, s.interMsgs, s.intraBytes, s.interBytes, s.selfMsgs = 0, 0, 0, 0, 0
+	s.ops = make(map[Op]int64)
+}
+
+// Diff returns counters accumulated since the earlier snapshot.
+func (sn Snapshot) Diff(earlier Snapshot) Snapshot {
+	ops := make(map[Op]int64)
+	for k, v := range sn.Ops {
+		if d := v - earlier.Ops[k]; d != 0 {
+			ops[k] = d
+		}
+	}
+	return Snapshot{
+		IntraMsgs:  sn.IntraMsgs - earlier.IntraMsgs,
+		InterMsgs:  sn.InterMsgs - earlier.InterMsgs,
+		IntraBytes: sn.IntraBytes - earlier.IntraBytes,
+		InterBytes: sn.InterBytes - earlier.InterBytes,
+		SelfMsgs:   sn.SelfMsgs - earlier.SelfMsgs,
+		Ops:        ops,
+	}
+}
+
+// String renders the snapshot compactly, with op counters sorted by name.
+func (sn Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "intra: %d msgs/%d B, inter: %d msgs/%d B, self: %d",
+		sn.IntraMsgs, sn.IntraBytes, sn.InterMsgs, sn.InterBytes, sn.SelfMsgs)
+	if len(sn.Ops) > 0 {
+		keys := make([]string, 0, len(sn.Ops))
+		for k := range sn.Ops {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		b.WriteString(" [")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=%d", k, sn.Ops[Op(k)])
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
