@@ -179,6 +179,35 @@ func BenchmarkE7_ThreeLevel(b *testing.B) {
 	b.ReportMetric(float64(two)/float64(three), "ratio")
 }
 
+// BenchmarkAlgRegistrySweep: one measurement per registered algorithm of
+// every collective kind through the registry dispatch path — the
+// programmatic form of `teamsbench -alg all`. Reports the best latency per
+// kind so regressions in any algorithm table show up as a metric shift.
+func BenchmarkAlgRegistrySweep(b *testing.B) {
+	const spec, elems, iters = "64(8)", 128, 4
+	for i := 0; i < b.N; i++ {
+		for _, k := range core.Kinds() {
+			n := elems
+			if k == core.KindBarrier {
+				n = 1
+			}
+			best := sim.Time(0)
+			for _, cmp := range bench.RegistryComparators(k) {
+				lat := measure(b, spec, cmp, n, iters)
+				if lat <= 0 {
+					b.Fatalf("%s: non-positive latency", cmp.Name)
+				}
+				if best == 0 || lat < best {
+					best = lat
+				}
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(best)/1000, k.String()+"-best-simus")
+			}
+		}
+	}
+}
+
 // BenchmarkE8_MessageCounts: validates the paper's §IV analysis — n·log n
 // notifications for dissemination vs 2(n−1) for the centralized linear
 // barrier — against the tracer.

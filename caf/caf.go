@@ -5,10 +5,14 @@
 // A program is an SPMD body executed by every image (1-based, as in
 // Fortran). Images synchronize with SyncAll/SyncImages, communicate through
 // coarrays (one-sided Put/Get), form teams (FormTeam/ChangeTeam), and use
-// the collective intrinsics CoSum/CoMax/CoMin/CoBroadcast. All collective
-// operations are dispatched through the hierarchy policy configured for the
-// run: the paper's two-level methodology by default, selectable to the flat
-// one-level baseline or the three-level (socket-aware) extension.
+// the collective intrinsics CoSum/CoMax/CoMin/CoBroadcast (see CoSumT and
+// friends for element types other than float64). All collective operations
+// dispatch through a named-algorithm registry: by default the hierarchy
+// level picks — the paper's two-level methodology wherever placement is
+// dense, the flat one-level baseline otherwise, or the three-level
+// (socket-aware) extension — and Config.Tuning / Config.WithAlgorithm pin
+// any collective kind to any registered algorithm (see Algorithms) or to
+// the size-aware auto rule.
 //
 // Quick start:
 //
@@ -24,7 +28,6 @@ package caf
 import (
 	"fmt"
 
-	"cafteams/internal/coll"
 	"cafteams/internal/core"
 	"cafteams/internal/machine"
 	"cafteams/internal/pgas"
@@ -58,7 +61,10 @@ type Config struct {
 	// "64(8)". Takes precedence over Images.
 	Spec string
 	// Images places this many images on a single shared-memory node when
-	// Spec is empty.
+	// Spec is empty. The node is modeled with the paper cluster's two
+	// sockets (images split evenly across them); the socket boundary only
+	// matters to the ThreeLevel runtime — every image still shares one
+	// node's memory.
 	Images int
 	// Model overrides the machine model (default: the paper's 44-node
 	// InfiniBand cluster).
@@ -67,6 +73,24 @@ type Config struct {
 	Conduit machine.Conduit
 	// Hierarchy selects the collective runtime level (default Auto).
 	Hierarchy Hierarchy
+	// Tuning selects, per collective kind, the algorithm the runtime
+	// dispatches to, by registry name (see Algorithms). Zero value: the
+	// hierarchy level decides, the paper's methodology. Entries may also
+	// be AlgAuto to additionally key the choice on message size. Unknown
+	// names make Run fail with an error. (Custom algorithms are
+	// registered per element type; selecting one and then calling a
+	// collective with an element type it was not registered for panics
+	// at the call site.) See also WithAlgorithm.
+	Tuning Tuning
+}
+
+// WithAlgorithm returns a copy of the Config that dispatches collective
+// kind k to the named algorithm, e.g.
+//
+//	cfg := caf.Config{Spec: "64(8)"}.WithAlgorithm(caf.KindAllreduce, "ring")
+func (c Config) WithAlgorithm(k Kind, name string) Config {
+	c.Tuning = c.Tuning.With(k, name)
+	return c
 }
 
 // Report summarizes a completed run.
@@ -125,6 +149,9 @@ func runWithLevel(cfg Config, level core.Level, body func(im *Image)) (Report, e
 	if err != nil {
 		return Report{}, err
 	}
+	if err := cfg.Tuning.Validate(); err != nil {
+		return Report{}, fmt.Errorf("caf: %w", err)
+	}
 	model := cfg.Model
 	if model == nil {
 		model = machine.PaperCluster()
@@ -136,7 +163,7 @@ func runWithLevel(cfg Config, level core.Level, body func(im *Image)) (Report, e
 		return Report{}, err
 	}
 	end := w.Run(func(pim *pgas.Image) {
-		im := &Image{img: pim, w: w, pol: core.Policy{Level: level}}
+		im := &Image{img: pim, w: w, pol: core.Policy{Level: level, Tuning: cfg.Tuning}}
 		im.stack = []*team.View{team.Initial(w, pim)}
 		body(im)
 	})
@@ -185,39 +212,39 @@ func (im *Image) SyncImages(images []int) {
 }
 
 // CoSum reduces a element-wise by summation across the current team; every
-// image receives the result (CAF co_sum).
-func (im *Image) CoSum(a []float64) { im.pol.Allreduce(im.view(), a, coll.Sum) }
+// image receives the result (CAF co_sum). CoSumT is the generic form.
+func (im *Image) CoSum(a []float64) { CoSumT(im, a) }
 
 // CoMax reduces element-wise by maximum (CAF co_max).
-func (im *Image) CoMax(a []float64) { im.pol.Allreduce(im.view(), a, coll.Max) }
+func (im *Image) CoMax(a []float64) { CoMaxT(im, a) }
 
 // CoMin reduces element-wise by minimum (CAF co_min).
-func (im *Image) CoMin(a []float64) { im.pol.Allreduce(im.view(), a, coll.Min) }
+func (im *Image) CoMin(a []float64) { CoMinT(im, a) }
 
 // CoSumTo reduces a by summation onto resultImage only (1-based, current
 // team) — the CAF co_sum(result_image=...) form. Other images' buffers are
 // left with partial values.
 func (im *Image) CoSumTo(a []float64, resultImage int) {
-	im.pol.ReduceTo(im.view(), resultImage-1, a, coll.Sum)
+	CoSumToT(im, a, resultImage)
 }
 
 // CoReduce reduces with a caller-supplied associative, commutative
 // operation.
 func (im *Image) CoReduce(a []float64, name string, combine func(dst, src []float64)) {
-	im.pol.Allreduce(im.view(), a, coll.Op{Name: name, Combine: combine})
+	CoReduceT(im, a, name, combine)
 }
 
 // CoBroadcast broadcasts a from sourceImage (1-based, current team) to the
 // whole team (CAF co_broadcast).
 func (im *Image) CoBroadcast(a []float64, sourceImage int) {
-	im.pol.Broadcast(im.view(), sourceImage-1, a)
+	CoBroadcastT(im, a, sourceImage)
 }
 
 // CoAllgather concatenates every image's mine vector into out, ordered by
 // team rank, on every image of the current team. out must hold
 // NumImages()*len(mine) elements.
 func (im *Image) CoAllgather(mine, out []float64) {
-	im.pol.Allgather(im.view(), mine, out)
+	CoAllgatherT(im, mine, out)
 }
 
 // Team is a formed team handle (the team_type value).
@@ -267,40 +294,15 @@ func (im *Image) GridTeams(p, q int) (row, col *Team, err error) {
 }
 
 // Coarray is a symmetric shared array of float64 allocated across the
-// current team at creation time.
-type Coarray struct {
-	co *pgas.Coarray[float64]
-	v  *team.View
-}
+// current team at creation time — the default-typed shorthand for
+// CoarrayT[float64] (see NewCoarrayT for other element types).
+type Coarray = CoarrayT[float64]
 
-// NewCoarray collectively allocates a coarray of n elements per image of
-// the current team. Coarrays allocated inside a ChangeTeam block exist only
-// on that team's images — the paper's team-scoped allocation.
+// NewCoarray collectively allocates a coarray of n float64 elements per
+// image of the current team. Coarrays allocated inside a ChangeTeam block
+// exist only on that team's images — the paper's team-scoped allocation.
 func (im *Image) NewCoarray(name string, n int) *Coarray {
-	v := im.view()
-	members := make([]int, v.T.Size())
-	copy(members, v.T.Members())
-	return &Coarray{
-		co: pgas.NewTeamCoarray[float64](im.w, fmt.Sprintf("caf:%d:%s", v.T.ID(), name), n, members),
-		v:  v,
-	}
-}
-
-// Local returns this image's own slab.
-func (c *Coarray) Local(im *Image) []float64 { return pgas.Local(c.co, im.img) }
-
-// Put writes src into the slab of image target (1-based, team of
-// allocation) at offset off — the coarray assignment "A(off:...)[target] =
-// src". One-sided and non-blocking; use SyncMemory or a barrier before the
-// target reads it.
-func (c *Coarray) Put(im *Image, target, off int, src []float64) {
-	pgas.Put(im.img, c.co, c.v.T.GlobalRank(target-1), off, src, pgas.ViaAuto)
-}
-
-// Get reads from the slab of image target (1-based) at offset off into dst,
-// blocking until the data arrives — "dst = A(off:...)[target]".
-func (c *Coarray) Get(im *Image, target, off int, dst []float64) {
-	pgas.Get(im.img, c.co, c.v.T.GlobalRank(target-1), off, dst)
+	return NewCoarrayT[float64](im, name, n)
 }
 
 // SyncMemory blocks until all one-sided operations issued by this image

@@ -7,12 +7,22 @@
 // Usage:
 //
 //	teamsbench [-exp e1|e2|e3|e4|e6|e7|all] [-iters N] [-csv]
+//	teamsbench -alg list
+//	teamsbench -alg all [-algspecs 64(8),352(44)] [-elems N] [-iters N] [-csv]
+//	teamsbench -alg allreduce [-algspecs ...]        # every allreduce algorithm
+//	teamsbench -alg allreduce/ring,bcast/2level      # specific algorithms
+//
+// The -alg family sweeps the pluggable algorithm registry: every named
+// algorithm of every collective kind (barrier, allreduce, reduceto, bcast,
+// allgather) is runnable by its registry name, the same name accepted by
+// caf.Config.WithAlgorithm.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cafteams/internal/bench"
 	"cafteams/internal/coll"
@@ -26,7 +36,18 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: e1, e2, e3, e4, e6, e7 or all")
 	iters := flag.Int("iters", 10, "episodes per measurement")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	alg := flag.String("alg", "", `sweep the algorithm registry: "list", "all", a kind ("allreduce"), or comma-separated "kind/name" entries`)
+	algspecs := flag.String("algspecs", "16(4),64(8),352(44)", "comma-separated placements for -alg sweeps")
+	elems := flag.Int("elems", 128, "vector elements for -alg sweeps of data collectives")
 	flag.Parse()
+
+	if *alg != "" {
+		if err := runAlgSweep(*alg, *algspecs, *elems, *iters, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "teamsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, fn func(iters int) []bench.Point, title, ref string) {
 		if *exp != "all" && *exp != name {
@@ -47,6 +68,78 @@ func main() {
 	run("e4", e4, "E4: one-to-all broadcast with 8 images/node (paper: up to 3x)", "two-level broadcast")
 	run("e6", e6, "E6: ablation — intra-node x inter-node strategy choices for the team barrier", "TDLB: linear intra + dissemination inter")
 	run("e7", e7, "E7: multi-level extension — socket-aware 3-level barrier (paper future work)", "2-level (TDLB)")
+}
+
+// runAlgSweep measures named registry algorithms across placements. sel is
+// "list", "all", a bare kind name, or comma-separated "kind/name" entries.
+func runAlgSweep(sel, specs string, elems, iters int, csv bool) error {
+	if sel == "list" {
+		for _, k := range core.Kinds() {
+			fmt.Printf("%-10s %s\n", k, strings.Join(core.Algorithms(k), " "))
+		}
+		return nil
+	}
+	// Resolve the selection to per-kind comparator lists.
+	byKind := map[core.Kind][]bench.Comparator{}
+	order := []core.Kind{}
+	add := func(k core.Kind, cmps []bench.Comparator) {
+		if len(byKind[k]) == 0 {
+			order = append(order, k)
+		}
+		byKind[k] = append(byKind[k], cmps...)
+	}
+	switch {
+	case sel == "all":
+		for _, k := range core.Kinds() {
+			add(k, bench.RegistryComparators(k))
+		}
+	default:
+		for _, entry := range strings.Split(sel, ",") {
+			kindName, algName, hasAlg := strings.Cut(entry, "/")
+			k, err := core.ParseKind(kindName)
+			if err != nil {
+				return err
+			}
+			if !hasAlg {
+				add(k, bench.RegistryComparators(k))
+				continue
+			}
+			if !core.HasAlgorithm(k, algName) {
+				return fmt.Errorf("unknown algorithm %q (registered for %s: %s)",
+					entry, k, strings.Join(core.Algorithms(k), " "))
+			}
+			add(k, []bench.Comparator{bench.RegistryComparator(k, algName)})
+		}
+	}
+	for _, k := range order {
+		cmps := byKind[k]
+		n := elems
+		if k == core.KindBarrier {
+			n = 1
+		}
+		var pts []bench.Point
+		for _, spec := range strings.Split(specs, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			for _, c := range cmps {
+				p, err := bench.Measure(spec, c, n, iters)
+				if err != nil {
+					return err
+				}
+				pts = append(pts, p)
+			}
+		}
+		if csv {
+			bench.CSV(os.Stdout, pts)
+			continue
+		}
+		title := fmt.Sprintf("registry sweep: %s (%d elems)", k, n)
+		bench.Table(os.Stdout, title, pts, cmps[0].Name)
+		fmt.Println()
+	}
+	return nil
 }
 
 func must(p bench.Point, err error) bench.Point {

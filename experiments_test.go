@@ -184,6 +184,32 @@ func TestShapeE8MessageCountClosedForms(t *testing.T) {
 	}
 }
 
+// TestShapeRegistryHierarchyWins: on the paper's dense placement, the
+// hierarchy-aware table entries must beat their flat baselines when
+// selected purely by registry name — the acceptance gate for the pluggable
+// dispatch layer (no special-cased fast path left behind).
+func TestShapeRegistryHierarchyWins(t *testing.T) {
+	const spec = "64(8)"
+	lat := func(k core.Kind, name string, elems int) sim.Time {
+		return measureT(t, spec, bench.RegistryComparator(k, name), elems, 6)
+	}
+	if tdlb, flat := lat(core.KindBarrier, "tdlb", 1), lat(core.KindBarrier, "dissemination", 1); tdlb >= flat {
+		t.Fatalf("barrier/tdlb (%d) not faster than barrier/dissemination (%d)", tdlb, flat)
+	}
+	if two, flat := lat(core.KindAllreduce, "2level", 64), lat(core.KindAllreduce, "rd", 64); two >= flat {
+		t.Fatalf("allreduce/2level (%d) not faster than allreduce/rd (%d)", two, flat)
+	}
+	if two, flat := lat(core.KindBroadcast, "2level", 64), lat(core.KindBroadcast, "binomial", 64); two >= flat {
+		t.Fatalf("bcast/2level (%d) not faster than bcast/binomial (%d)", two, flat)
+	}
+	if two, flat := lat(core.KindReduceTo, "2level", 64), lat(core.KindReduceTo, "binomial", 64); two >= flat {
+		t.Fatalf("reduceto/2level (%d) not faster than reduceto/binomial (%d)", two, flat)
+	}
+	if two, flat := lat(core.KindAllgather, "2level", 64), lat(core.KindAllgather, "ring", 64); two >= flat {
+		t.Fatalf("allgather/2level (%d) not faster than allgather/ring (%d)", two, flat)
+	}
+}
+
 func TestShapeHPLVerifiedEndToEnd(t *testing.T) {
 	// The full pipeline with real arithmetic: distributed LU == serial LU,
 	// HPL residual passes, and the two-level runtime is the faster one.

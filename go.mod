@@ -1,0 +1,3 @@
+module cafteams
+
+go 1.24

@@ -29,6 +29,8 @@ const (
 	Barrier Collective = iota
 	Reduce
 	Bcast
+	ReduceTo
+	Allgather
 )
 
 func (c Collective) String() string {
@@ -39,6 +41,10 @@ func (c Collective) String() string {
 		return "reduction"
 	case Bcast:
 		return "broadcast"
+	case ReduceTo:
+		return "reduce-to"
+	case Allgather:
+		return "allgather"
 	default:
 		return fmt.Sprintf("collective(%d)", int(c))
 	}
@@ -144,6 +150,48 @@ func Comparators(c Collective) []Comparator {
 		}
 	}
 	return nil
+}
+
+// RegistryComparator builds a comparator that drives one named algorithm
+// from core's pluggable registry (kind "barrier", "allreduce", "reduceto",
+// "bcast" or "allgather") over the GASNet-RDMA conduit. The comparator name
+// is the registry's "kind/name" form, so sweep output lines up with the
+// names accepted by caf.Config.WithAlgorithm and teamsbench -alg.
+func RegistryComparator(k core.Kind, name string) Comparator {
+	return Comparator{
+		Name:    k.String() + "/" + name,
+		Conduit: machine.ConduitGASNetRDMA,
+		Run: func(v *team.View, buf []float64, iters int) {
+			var out []float64
+			if k == core.KindAllgather {
+				out = make([]float64, v.NumImages()*len(buf))
+			}
+			for i := 0; i < iters; i++ {
+				switch k {
+				case core.KindBarrier:
+					core.RunBarrier(name, v)
+				case core.KindAllreduce:
+					core.RunAllreduce(name, v, buf, coll.Sum)
+				case core.KindReduceTo:
+					core.RunReduceTo(name, v, 0, buf, coll.Sum)
+				case core.KindBroadcast:
+					core.RunBroadcast(name, v, 0, buf)
+				case core.KindAllgather:
+					core.RunAllgather(name, v, buf, out)
+				}
+			}
+		},
+	}
+}
+
+// RegistryComparators returns one comparator per algorithm registered for
+// kind k, in registry order — the programmatic sweep surface.
+func RegistryComparators(k core.Kind) []Comparator {
+	var cmps []Comparator
+	for _, name := range core.Algorithms(k) {
+		cmps = append(cmps, RegistryComparator(k, name))
+	}
+	return cmps
 }
 
 // Point is one measured cell: mean latency per episode.

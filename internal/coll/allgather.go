@@ -17,9 +17,10 @@ import (
 //
 // Like the ring all-reduce, skew around the ring can reach n−1 steps, so
 // every step gets its own parity-indexed landing region.
-func AllgatherRing(v *team.View, mine, out []float64, via pgas.Via) {
+func AllgatherRing[T any](v *team.View, mine, out []T, via pgas.Via) {
 	sz := v.NumImages()
 	n := len(mine)
+	es := pgas.ElemSize[T]()
 	if len(out) < sz*n {
 		panic(fmt.Sprintf("coll: allgather out %d < %d", len(out), sz*n))
 	}
@@ -29,9 +30,9 @@ func AllgatherRing(v *team.View, mine, out []float64, via pgas.Via) {
 		return
 	}
 	steps := sz - 1
-	st := getState(v, "ag.ring."+via.String(), steps)
+	st := getState(v, "ag.ring."+via.String()+"."+tag[T](), steps)
 	ep := st.next(v.Rank)
-	co, cap_ := scratch(v, "ag.ring", n, 2*steps)
+	co, cap_ := scratch[T](v, "ag.ring", n, 2*steps)
 	parity := int(ep % 2)
 	region := func(s int) int { return (parity*steps + s) * cap_ }
 	me := v.Img
@@ -44,6 +45,73 @@ func AllgatherRing(v *team.View, mine, out []float64, via pgas.Via) {
 		pgas.PutThenNotify(me, co, next, reg, out[sendB*n:sendB*n+n], st.flags, s, 1, via)
 		me.WaitFlagGE(st.flags, me.Rank(), s, ep)
 		copy(out[recvB*n:recvB*n+n], pgas.Local(co, me)[reg:reg+n])
-		me.MemWork(8 * n)
+		me.MemWork(es * n)
+	}
+}
+
+// AllgatherBruck is the doubling allgather (Bruck's algorithm without the
+// final rotation, expressed over absolute ranks): ceil(log2 n) rounds, in
+// round k each member sends the 2^k blocks it has assembled so far to the
+// member 2^k below it. Latency-optimal for small blocks — the counterpart of
+// the ring's bandwidth optimality.
+//
+// Round r's transfer lands in its own parity-indexed region, so a fast
+// neighbor running ahead can never clobber an unread round.
+func AllgatherBruck[T any](v *team.View, mine, out []T, via pgas.Via) {
+	sz := v.NumImages()
+	n := len(mine)
+	es := pgas.ElemSize[T]()
+	if len(out) < sz*n {
+		panic(fmt.Sprintf("coll: allgather out %d < %d", len(out), sz*n))
+	}
+	v.Img.World().Stats().Count(trace.OpReduce)
+	copy(out[v.Rank*n:], mine)
+	if sz == 1 {
+		return
+	}
+	nr := rounds(sz)
+	st := getState(v, "ag.bruck."+via.String()+"."+tag[T](), nr)
+	ep := st.next(v.Rank)
+	// Region k holds up to 2^k blocks; lay rounds out back to back per
+	// parity. Total per parity: (2^nr - 1) block-sized regions... bounded
+	// by 2*sz, so allocate 2*sz regions per parity.
+	co, cap_ := scratch[T](v, "ag.bruck", n, 2*2*sz)
+	parity := int(ep % 2)
+	base := func(k int) int { return (parity*2*sz + (1<<k - 1)) * cap_ }
+	me := v.Img
+	r := v.Rank
+	// have counts the contiguous (cyclic, starting at my own rank) blocks
+	// assembled so far.
+	have := 1
+	for k := 0; 1<<k < sz; k++ {
+		dst := ((r-1<<k)%sz + sz) % sz
+		send := have
+		if send > sz-have { // the receiver only needs sz-have more blocks
+			send = sz - have
+		}
+		// Pack my first `send` blocks (cyclic from my rank) into the
+		// round-k region at dst.
+		pack := make([]T, send*n)
+		for i := 0; i < send; i++ {
+			b := (r + i) % sz
+			copy(pack[i*n:(i+1)*n], out[b*n:b*n+n])
+		}
+		me.MemWork(es * len(pack))
+		pgas.PutThenNotify(me, co, v.T.GlobalRank(dst), base(k), pack, st.flags, k, 1, via)
+		me.WaitFlagGE(st.flags, me.Rank(), k, ep)
+		// Unpack what arrived: the sender was (r+2^k) mod sz, its blocks
+		// start at its rank.
+		src := (r + 1<<k) % sz
+		recv := have
+		if recv > sz-have {
+			recv = sz - have
+		}
+		local := pgas.Local(co, me)
+		for i := 0; i < recv; i++ {
+			b := (src + i) % sz
+			copy(out[b*n:b*n+n], local[base(k)+i*n:base(k)+(i+1)*n])
+		}
+		me.MemWork(es * recv * n)
+		have += recv
 	}
 }

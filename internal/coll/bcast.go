@@ -22,15 +22,16 @@ import (
 //
 // Flag layout: slots 0-1 parity payload arrivals, slots 2-3 parity acks,
 // slot 4 done stamps.
-func SubgroupBcastBinomial(v *team.View, group []int, myIdx, rootIdx int, buf []float64, alg string, via pgas.Via) {
+func SubgroupBcastBinomial[T any](v *team.View, group []int, myIdx, rootIdx int, buf []T, alg string, via pgas.Via) {
 	g := len(group)
 	if g == 1 {
 		return
 	}
 	n := len(buf)
-	st := getState(v, alg+".bcast", 5)
+	es := pgas.ElemSize[T]()
+	st := getState(v, alg+".bcast."+tag[T](), 5)
 	ep := st.next(v.Rank)
-	co, cap_ := scratch(v, alg+".bcast", n, 2)
+	co, cap_ := scratch[T](v, alg+".bcast", n, 2)
 	parity := int(ep % 2)
 	reg := parity * cap_
 	paySlot := parity
@@ -47,7 +48,7 @@ func SubgroupBcastBinomial(v *team.View, group []int, myIdx, rootIdx int, buf []
 		st.payExpect[parity][v.Rank]++
 		me.WaitFlagGE(st.flags, me.Rank(), paySlot, st.payExpect[parity][v.Rank])
 		copy(buf, pgas.Local(co, me)[reg:reg+n])
-		me.MemWork(8 * n)
+		me.MemWork(es * n)
 	}
 	// Forward to subtree children: highest distance first so the far half
 	// of the tree starts as early as possible.
@@ -83,7 +84,7 @@ func floorPow2OfNonZero(r int) int {
 
 // BcastBinomial is the flat binomial-tree one-to-all broadcast over the
 // whole team (the baseline for co_broadcast). root is a team rank.
-func BcastBinomial(v *team.View, root int, buf []float64, via pgas.Via) {
+func BcastBinomial[T any](v *team.View, root int, buf []T, via pgas.Via) {
 	v.Img.World().Stats().Count(trace.OpBroadcast)
 	SubgroupBcastBinomial(v, teamRanks(v), v.Rank, root, buf, "bc.flat."+via.String(), via)
 }
@@ -93,16 +94,17 @@ func BcastBinomial(v *team.View, root int, buf []float64, via pgas.Via) {
 // control mirrors SubgroupBcastBinomial: parity ack slots converging
 // directly at the episode root, a done-stamp wave, and an injection gate at
 // done >= e−2.
-func BcastLinear(v *team.View, root int, buf []float64, via pgas.Via) {
+func BcastLinear[T any](v *team.View, root int, buf []T, via pgas.Via) {
 	v.Img.World().Stats().Count(trace.OpBroadcast)
 	sz := v.NumImages()
 	if sz == 1 {
 		return
 	}
 	n := len(buf)
-	st := getState(v, "bc.lin."+via.String(), 5)
+	es := pgas.ElemSize[T]()
+	st := getState(v, "bc.lin."+via.String()+"."+tag[T](), 5)
 	ep := st.next(v.Rank)
-	co, cap_ := scratch(v, "bc.lin", n, 2)
+	co, cap_ := scratch[T](v, "bc.lin", n, 2)
 	parity := int(ep % 2)
 	reg := parity * cap_
 	paySlot := parity
@@ -129,7 +131,7 @@ func BcastLinear(v *team.View, root int, buf []float64, via pgas.Via) {
 	st.payExpect[parity][v.Rank]++
 	me.WaitFlagGE(st.flags, me.Rank(), paySlot, st.payExpect[parity][v.Rank])
 	copy(buf, pgas.Local(co, me)[reg:reg+n])
-	me.MemWork(8 * n)
+	me.MemWork(es * n)
 	me.NotifyAdd(st.flags, v.T.GlobalRank(root), ackSlot, 1, via)
 }
 
@@ -137,10 +139,11 @@ func BcastLinear(v *team.View, root int, buf []float64, via pgas.Via) {
 // root binomial-scatters n/size chunks, then a ring all-gather completes
 // every copy. Bandwidth-optimal for payloads much larger than the team.
 // Falls back to the binomial tree when the vector is shorter than the team.
-func BcastScatterAllgather(v *team.View, root int, buf []float64, via pgas.Via) {
+func BcastScatterAllgather[T any](v *team.View, root int, buf []T, via pgas.Via) {
 	v.Img.World().Stats().Count(trace.OpBroadcast)
 	sz := v.NumImages()
 	n := len(buf)
+	es := pgas.ElemSize[T]()
 	if sz == 1 {
 		return
 	}
@@ -150,11 +153,11 @@ func BcastScatterAllgather(v *team.View, root int, buf []float64, via pgas.Via) 
 	}
 	chunk := (n + sz - 1) / sz
 	steps := sz - 1
-	st := getState(v, "bc.sag."+via.String(), 1+steps)
+	st := getState(v, "bc.sag."+via.String()+"."+tag[T](), 1+steps)
 	ep := st.next(v.Rank)
 	// Region layout per parity: the full vector (scatter target area)
 	// plus one region per all-gather step.
-	co, cap_ := scratch(v, "bc.sag", n, 2*(1+steps))
+	co, cap_ := scratch[T](v, "bc.sag", n, 2*(1+steps))
 	parity := int(ep % 2)
 	base := parity * (1 + steps) * cap_
 	me := v.Img
@@ -180,10 +183,10 @@ func BcastScatterAllgather(v *team.View, root int, buf []float64, via pgas.Via) 
 		// own chunk into buf.
 		lo, hi := bounds(rel)
 		copy(buf[lo:hi], pgas.Local(co, me)[base+lo:base+hi])
-		me.MemWork(8 * (hi - lo))
+		me.MemWork(es * (hi - lo))
 	} else {
 		copy(pgas.Local(co, me)[base:base+n], buf)
-		me.MemWork(8 * n)
+		me.MemWork(es * n)
 	}
 	// This scatter tree uses the "low bits free" binomial shape (forward
 	// when rel ≡ 0 mod 2^(k+1)) because its subtrees are contiguous chunk
@@ -223,7 +226,7 @@ func BcastScatterAllgather(v *team.View, root int, buf []float64, via pgas.Via) 
 		rlo, rhi := bounds(recvC)
 		if rhi > rlo {
 			copy(buf[rlo:rhi], pgas.Local(co, me)[reg:reg+(rhi-rlo)])
-			me.MemWork(8 * (rhi - rlo))
+			me.MemWork(es * (rhi - rlo))
 		}
 	}
 }

@@ -22,37 +22,64 @@ import (
 	"cafteams/internal/team"
 )
 
+// Number constrains the element types the predefined reductions (sum, max,
+// min) operate on: every Go numeric type with a total order under < and +.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
 // Op combines src into dst element-wise (dst = dst ⊕ src). Operations must
 // be associative and commutative; the runtime may combine partial vectors in
 // any order.
-type Op struct {
+type Op[T any] struct {
 	Name    string
-	Combine func(dst, src []float64)
+	Combine func(dst, src []T)
 }
 
-// Predefined reduction operations (the CAF co_sum, co_max, co_min
-// intrinsics).
-var (
-	Sum = Op{Name: "sum", Combine: func(dst, src []float64) {
+// SumOp returns the element-wise summation operation over T (co_sum).
+func SumOp[T Number]() Op[T] {
+	return Op[T]{Name: "sum", Combine: func(dst, src []T) {
 		for i := range dst {
 			dst[i] += src[i]
 		}
 	}}
-	Max = Op{Name: "max", Combine: func(dst, src []float64) {
+}
+
+// MaxOp returns the element-wise maximum operation over T (co_max).
+func MaxOp[T Number]() Op[T] {
+	return Op[T]{Name: "max", Combine: func(dst, src []T) {
 		for i := range dst {
 			if src[i] > dst[i] {
 				dst[i] = src[i]
 			}
 		}
 	}}
-	Min = Op{Name: "min", Combine: func(dst, src []float64) {
+}
+
+// MinOp returns the element-wise minimum operation over T (co_min).
+func MinOp[T Number]() Op[T] {
+	return Op[T]{Name: "min", Combine: func(dst, src []T) {
 		for i := range dst {
 			if src[i] < dst[i] {
 				dst[i] = src[i]
 			}
 		}
 	}}
+}
+
+// Predefined float64 reduction operations (the CAF co_sum, co_max, co_min
+// intrinsics at the default element type).
+var (
+	Sum = SumOp[float64]()
+	Max = MaxOp[float64]()
+	Min = MinOp[float64]()
 )
+
+// tag names T for state and scratch keys: a float64 and an int64 collective
+// on the same team must not share flag arrays or landing regions.
+func tag[T any]() string { return pgas.TypeName[T]() }
 
 // state is the per-(team, algorithm) collective state: a flag array and
 // per-member episode counters. Each image only writes its own entries.
@@ -135,25 +162,25 @@ func bucket(n int) int {
 	return 1 << bits.Len(uint(n))
 }
 
-// scratch returns a team-wide float64 scratch coarray of at least elems
+// scratch returns a team-wide scratch coarray of T with at least elems
 // elements per region, with regions regions (rounds, parity buffers...),
-// allocated per size class.
-func scratch(v *team.View, alg string, elems, regions int) (*pgas.Coarray[float64], int) {
+// allocated per size class and element type.
+func scratch[T any](v *team.View, alg string, elems, regions int) (*pgas.Coarray[T], int) {
 	cap_ := bucket(elems)
-	name := fmt.Sprintf("coll:%s:team%d:cap%d", alg, v.T.ID(), cap_)
+	name := fmt.Sprintf("coll:%s:%s:team%d:cap%d", alg, tag[T](), v.T.ID(), cap_)
 	w := v.Img.World()
 	members := make([]int, v.T.Size())
 	copy(members, v.T.Members())
-	co := pgas.NewTeamCoarray[float64](w, name, cap_*regions, members)
+	co := pgas.NewTeamCoarray[T](w, name, cap_*regions, members)
 	return co, cap_
 }
 
 // rootScratch returns a scratch slab allocated only on the team's root image
 // (for linear gathers: the root needs n regions, nobody else needs any).
-func rootScratch(v *team.View, alg string, elems, regions int) (*pgas.Coarray[float64], int) {
+func rootScratch[T any](v *team.View, alg string, elems, regions int) (*pgas.Coarray[T], int) {
 	cap_ := bucket(elems)
-	name := fmt.Sprintf("coll:%s:team%d:root:cap%d", alg, v.T.ID(), cap_)
+	name := fmt.Sprintf("coll:%s:%s:team%d:root:cap%d", alg, tag[T](), v.T.ID(), cap_)
 	w := v.Img.World()
-	co := pgas.NewTeamCoarray[float64](w, name, cap_*regions, []int{v.T.GlobalRank(0)})
+	co := pgas.NewTeamCoarray[T](w, name, cap_*regions, []int{v.T.GlobalRank(0)})
 	return co, cap_
 }

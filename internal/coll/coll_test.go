@@ -135,16 +135,16 @@ func TestBarrierMessageCounts(t *testing.T) {
 }
 
 // reduceFn is any allreduce implementation under test.
-type reduceFn func(v *team.View, buf []float64, op Op)
+type reduceFn func(v *team.View, buf []float64, op Op[float64])
 
 var reducers = map[string]reduceFn{
-	"rd":     func(v *team.View, b []float64, op Op) { AllreduceRD(v, b, op, pgas.ViaConduit) },
-	"linear": func(v *team.View, b []float64, op Op) { AllreduceLinear(v, b, op, pgas.ViaConduit) },
-	"tree":   func(v *team.View, b []float64, op Op) { AllreduceTree(v, b, op, pgas.ViaConduit) },
-	"ring":   func(v *team.View, b []float64, op Op) { AllreduceRing(v, b, op, pgas.ViaConduit) },
+	"rd":     func(v *team.View, b []float64, op Op[float64]) { AllreduceRD(v, b, op, pgas.ViaConduit) },
+	"linear": func(v *team.View, b []float64, op Op[float64]) { AllreduceLinear(v, b, op, pgas.ViaConduit) },
+	"tree":   func(v *team.View, b []float64, op Op[float64]) { AllreduceTree(v, b, op, pgas.ViaConduit) },
+	"ring":   func(v *team.View, b []float64, op Op[float64]) { AllreduceRing(v, b, op, pgas.ViaConduit) },
 }
 
-func checkAllreduce(t *testing.T, spec string, name string, fn reduceFn, elems int, op Op, expect func(n, i int) float64) {
+func checkAllreduce(t *testing.T, spec string, name string, fn reduceFn, elems int, op Op[float64], expect func(n, i int) float64) {
 	t.Helper()
 	w := newWorld(t, spec)
 	n := w.NumImages()

@@ -20,17 +20,18 @@ import (
 //
 // The hierarchy-aware two-level reduction (internal/core) reuses this with
 // group = the team's node leaders; the flat baseline uses the whole team.
-func SubgroupAllreduceRD(v *team.View, group []int, myIdx int, buf []float64, op Op, alg string, via pgas.Via) {
+func SubgroupAllreduceRD[T any](v *team.View, group []int, myIdx int, buf []T, op Op[T], alg string, via pgas.Via) {
 	g := len(group)
 	if g == 1 {
 		return
 	}
 	n := len(buf)
+	es := pgas.ElemSize[T]()
 	nr := rounds(floorPow2(g))
-	st := getState(v, alg+".rd."+op.Name, nr+2)
+	st := getState(v, alg+".rd."+op.Name+"."+tag[T](), nr+2)
 	ep := st.next(v.Rank)
 	regions := nr + 2 // rd rounds, extra-contribution, result
-	co, cap_ := scratch(v, alg+".rd."+op.Name, n, 2*regions)
+	co, cap_ := scratch[T](v, alg+".rd."+op.Name, n, 2*regions)
 	parity := int(ep % 2)
 	region := func(k int) int { return (parity*regions + k) * cap_ }
 	me := v.Img
@@ -46,20 +47,20 @@ func SubgroupAllreduceRD(v *team.View, group []int, myIdx int, buf []float64, op
 		pgas.PutThenNotify(me, co, global(partner), region(slotExtra), buf, st.flags, slotExtra, 1, via)
 		me.WaitFlagGE(st.flags, me.Rank(), slotResult, ep)
 		copy(buf, pgas.Local(co, me)[region(slotResult):region(slotResult)+n])
-		me.MemWork(8 * n)
+		me.MemWork(es * n)
 		return
 	}
 	if myIdx < extras {
 		me.WaitFlagGE(st.flags, me.Rank(), slotExtra, ep)
 		op.Combine(buf, pgas.Local(co, me)[region(slotExtra):region(slotExtra)+n])
-		me.MemWork(16 * n)
+		me.MemWork(2 * es * n)
 	}
 	for k := 0; 1<<k < p2; k++ {
 		partner := myIdx ^ 1<<k
 		pgas.PutThenNotify(me, co, global(partner), region(k), buf, st.flags, k, 1, via)
 		me.WaitFlagGE(st.flags, me.Rank(), k, ep)
 		op.Combine(buf, pgas.Local(co, me)[region(k):region(k)+n])
-		me.MemWork(16 * n)
+		me.MemWork(2 * es * n)
 	}
 	if myIdx < extras {
 		pgas.PutThenNotify(me, co, global(myIdx+p2), region(slotResult), buf, st.flags, slotResult, 1, via)
@@ -69,7 +70,7 @@ func SubgroupAllreduceRD(v *team.View, group []int, myIdx int, buf []float64, op
 // AllreduceRD is the flat recursive-doubling all-to-all reduction over the
 // whole team through the conduit path — a standard baseline for co_sum and
 // friends.
-func AllreduceRD(v *team.View, buf []float64, op Op, via pgas.Via) {
+func AllreduceRD[T any](v *team.View, buf []T, op Op[T], via pgas.Via) {
 	v.Img.World().Stats().Count(trace.OpReduce)
 	SubgroupAllreduceRD(v, teamRanks(v), v.Rank, buf, op, "red.flat."+via.String(), via)
 }
@@ -77,19 +78,20 @@ func AllreduceRD(v *team.View, buf []float64, op Op, via pgas.Via) {
 // AllreduceLinear gathers every vector at the team's first member, combines
 // there, and ships the result back out — the centralized counterpart the
 // paper's methodology discussion contrasts with distributed algorithms.
-func AllreduceLinear(v *team.View, buf []float64, op Op, via pgas.Via) {
+func AllreduceLinear[T any](v *team.View, buf []T, op Op[T], via pgas.Via) {
 	v.Img.World().Stats().Count(trace.OpReduce)
 	n := len(buf)
+	es := pgas.ElemSize[T]()
 	sz := v.NumImages()
 	if sz == 1 {
 		return
 	}
-	st := getState(v, "red.lin."+op.Name+"."+via.String(), 2)
+	st := getState(v, "red.lin."+op.Name+"."+via.String()+"."+tag[T](), 2)
 	ep := st.next(v.Rank)
 	// Root inbox: one region per member per parity. Result inbox: one
 	// region per member (symmetric).
-	inbox, icap := rootScratch(v, "red.lin."+op.Name, n, 2*sz)
-	res, rcap := scratch(v, "red.lin.res."+op.Name, n, 2)
+	inbox, icap := rootScratch[T](v, "red.lin."+op.Name, n, 2*sz)
+	res, rcap := scratch[T](v, "red.lin.res."+op.Name, n, 2)
 	parity := int(ep % 2)
 	root := v.T.GlobalRank(0)
 	me := v.Img
@@ -99,7 +101,7 @@ func AllreduceLinear(v *team.View, buf []float64, op Op, via pgas.Via) {
 		for r := 1; r < sz; r++ {
 			off := (parity*sz + r) * icap
 			op.Combine(buf, local[off:off+n])
-			me.MemWork(16 * n)
+			me.MemWork(2 * es * n)
 		}
 		for r := 1; r < sz; r++ {
 			pgas.PutThenNotify(me, res, v.T.GlobalRank(r), parity*rcap, buf, st.flags, 1, 1, via)
@@ -110,24 +112,25 @@ func AllreduceLinear(v *team.View, buf []float64, op Op, via pgas.Via) {
 	pgas.PutThenNotify(me, inbox, root, off, buf, st.flags, 0, 1, via)
 	me.WaitFlagGE(st.flags, me.Rank(), 1, ep)
 	copy(buf, pgas.Local(res, me)[parity*rcap:parity*rcap+n])
-	me.MemWork(8 * n)
+	me.MemWork(es * n)
 }
 
 // AllreduceTree reduces up a binomial tree to the first member and
 // broadcasts the result back down the same tree. 2(n−1) vector messages
 // with logarithmic depth.
-func AllreduceTree(v *team.View, buf []float64, op Op, via pgas.Via) {
+func AllreduceTree[T any](v *team.View, buf []T, op Op[T], via pgas.Via) {
 	v.Img.World().Stats().Count(trace.OpReduce)
 	n := len(buf)
+	es := pgas.ElemSize[T]()
 	sz := v.NumImages()
 	if sz == 1 {
 		return
 	}
 	nr := rounds(sz)
-	st := getState(v, "red.tree."+op.Name+"."+via.String(), nr+1)
+	st := getState(v, "red.tree."+op.Name+"."+via.String()+"."+tag[T](), nr+1)
 	ep := st.next(v.Rank)
 	regions := nr + 1
-	co, cap_ := scratch(v, "red.tree."+op.Name, n, 2*regions)
+	co, cap_ := scratch[T](v, "red.tree."+op.Name, n, 2*regions)
 	parity := int(ep % 2)
 	region := func(k int) int { return (parity*regions + k) * cap_ }
 	me := v.Img
@@ -137,7 +140,7 @@ func AllreduceTree(v *team.View, buf []float64, op Op, via pgas.Via) {
 	for i := len(kids) - 1; i >= 0; i-- {
 		me.WaitFlagGE(st.flags, me.Rank(), i, ep)
 		op.Combine(buf, pgas.Local(co, me)[region(i):region(i)+n])
-		me.MemWork(16 * n)
+		me.MemWork(2 * es * n)
 	}
 	if r != 0 {
 		parent := r - (r & -r)
@@ -146,7 +149,7 @@ func AllreduceTree(v *team.View, buf []float64, op Op, via pgas.Via) {
 		pgas.PutThenNotify(me, co, v.T.GlobalRank(parent), region(slot), buf, st.flags, slot, 1, via)
 		me.WaitFlagGE(st.flags, me.Rank(), nr, ep)
 		copy(buf, pgas.Local(co, me)[region(nr):region(nr)+n])
-		me.MemWork(8 * n)
+		me.MemWork(es * n)
 	}
 	for _, c := range kids {
 		pgas.PutThenNotify(me, co, v.T.GlobalRank(c), region(nr), buf, st.flags, nr, 1, via)
@@ -167,10 +170,11 @@ func childSlot(parent, child int) int {
 // AllreduceRing is the bandwidth-optimal ring all-reduce (reduce-scatter
 // pass followed by an all-gather pass, 2(n−1) steps of n/size chunks). An
 // extension beyond the paper's baselines, included for the ablation bench.
-func AllreduceRing(v *team.View, buf []float64, op Op, via pgas.Via) {
+func AllreduceRing[T any](v *team.View, buf []T, op Op[T], via pgas.Via) {
 	v.Img.World().Stats().Count(trace.OpReduce)
 	sz := v.NumImages()
 	n := len(buf)
+	es := pgas.ElemSize[T]()
 	if sz == 1 {
 		return
 	}
@@ -180,12 +184,12 @@ func AllreduceRing(v *team.View, buf []float64, op Op, via pgas.Via) {
 		return
 	}
 	steps := 2 * (sz - 1)
-	st := getState(v, "red.ring."+op.Name+"."+via.String(), steps)
+	st := getState(v, "red.ring."+op.Name+"."+via.String()+"."+tag[T](), steps)
 	ep := st.next(v.Rank)
 	chunk := (n + sz - 1) / sz
 	// One inbox region per step per episode parity: ring skew can reach
 	// sz−1 steps, so regions cannot be shared between nearby steps.
-	co, cap_ := scratch(v, "red.ring."+op.Name, chunk, 2*steps)
+	co, cap_ := scratch[T](v, "red.ring."+op.Name, chunk, 2*steps)
 	parity := int(ep % 2)
 	region := func(step int) int { return (parity*steps + step) * cap_ }
 	me := v.Img
@@ -213,7 +217,7 @@ func AllreduceRing(v *team.View, buf []float64, op Op, via pgas.Via) {
 		me.WaitFlagGE(st.flags, me.Rank(), s, ep)
 		rlo, rhi := bounds(recvC)
 		op.Combine(buf[rlo:rhi], pgas.Local(co, me)[reg:reg+(rhi-rlo)])
-		me.MemWork(16 * (rhi - rlo))
+		me.MemWork(2 * es * (rhi - rlo))
 	}
 	// All-gather: circulate the finished chunks.
 	for s := 0; s < sz-1; s++ {
@@ -225,7 +229,7 @@ func AllreduceRing(v *team.View, buf []float64, op Op, via pgas.Via) {
 		me.WaitFlagGE(st.flags, me.Rank(), sz-1+s, ep)
 		rlo, rhi := bounds(recvC)
 		copy(buf[rlo:rhi], pgas.Local(co, me)[reg:reg+(rhi-rlo)])
-		me.MemWork(8 * (rhi - rlo))
+		me.MemWork(es * (rhi - rlo))
 	}
 }
 

@@ -25,15 +25,16 @@ import (
 //
 // Flag layout: slots [0, g) sender arrivals; slot g+2·p+parity the credit
 // from parent p.
-func SubgroupReduceToRoot(v *team.View, group []int, myIdx, rootIdx int, buf []float64, op Op, alg string, via pgas.Via) {
+func SubgroupReduceToRoot[T any](v *team.View, group []int, myIdx, rootIdx int, buf []T, op Op[T], alg string, via pgas.Via) {
 	g := len(group)
 	if g == 1 {
 		return
 	}
 	n := len(buf)
-	st := getState(v, alg+".redto", 3*g)
+	es := pgas.ElemSize[T]()
+	st := getState(v, alg+".redto."+tag[T](), 3*g)
 	ep := st.next(v.Rank)
-	co, cap_ := scratch(v, alg+".redto", n, 2*g)
+	co, cap_ := scratch[T](v, alg+".redto", n, 2*g)
 	parity := int(ep % 2)
 	region := func(senderIdx int) int { return (parity*g + senderIdx) * cap_ }
 	me := v.Img
@@ -50,7 +51,7 @@ func SubgroupReduceToRoot(v *team.View, group []int, myIdx, rootIdx int, buf []f
 		me.WaitFlagGE(st.flags, me.Rank(), kidIdx, st.slotExpect[v.Rank][kidIdx])
 		off := region(kidIdx)
 		op.Combine(buf, pgas.Local(co, me)[off:off+n])
-		me.MemWork(16 * n)
+		me.MemWork(2 * es * n)
 		// Credit the child: its parity-e landing region here is free.
 		me.NotifyAdd(st.flags, globalOf(kidIdx), g+2*myIdx+parity, 1, via)
 	}
@@ -69,7 +70,55 @@ func SubgroupReduceToRoot(v *team.View, group []int, myIdx, rootIdx int, buf []f
 
 // ReduceToRoot is the flat binomial reduce-to-one over the whole team;
 // root is a team rank.
-func ReduceToRoot(v *team.View, root int, buf []float64, op Op, via pgas.Via) {
+func ReduceToRoot[T any](v *team.View, root int, buf []T, op Op[T], via pgas.Via) {
 	v.Img.World().Stats().Count(trace.OpReduce)
 	SubgroupReduceToRoot(v, teamRanks(v), v.Rank, root, buf, op, "redto.flat."+op.Name+"."+via.String(), via)
+}
+
+// ReduceToRootLinear gathers every member's vector at the root directly and
+// combines there — the centralized scheme, O(n) serialized messages into one
+// image. Senders are credit-gated per parity so landing regions are never
+// overwritten before the root has combined them.
+//
+// Flag layout: slots 0-1 parity arrivals at the root, slots 2-3 parity
+// credits back to the senders.
+func ReduceToRootLinear[T any](v *team.View, root int, buf []T, op Op[T], via pgas.Via) {
+	v.Img.World().Stats().Count(trace.OpReduce)
+	sz := v.NumImages()
+	if sz == 1 {
+		return
+	}
+	n := len(buf)
+	es := pgas.ElemSize[T]()
+	st := getState(v, "redto.lin."+op.Name+"."+via.String()+"."+tag[T](), 4)
+	ep := st.next(v.Rank)
+	co, cap_ := scratch[T](v, "redto.lin."+op.Name, n, 2*sz)
+	parity := int(ep % 2)
+	arriveSlot := parity
+	creditSlot := 2 + parity
+	me := v.Img
+	if v.Rank == root {
+		// slotExpect[root][arriveSlot] counts cumulative same-parity
+		// arrivals; the tree shape is root-dependent, so count exactly.
+		st.slotExpect[v.Rank][arriveSlot] += int64(sz - 1)
+		me.WaitFlagGE(st.flags, me.Rank(), arriveSlot, st.slotExpect[v.Rank][arriveSlot])
+		local := pgas.Local(co, me)
+		for r := 0; r < sz; r++ {
+			if r == root {
+				continue
+			}
+			off := (parity*sz + r) * cap_
+			op.Combine(buf, local[off:off+n])
+			me.MemWork(2 * es * n)
+			me.NotifyAdd(st.flags, v.T.GlobalRank(r), creditSlot, 1, via)
+		}
+		return
+	}
+	// Gate on the credit for my previous same-parity send.
+	st.slotExpect[v.Rank][creditSlot]++
+	if sends := st.slotExpect[v.Rank][creditSlot]; sends > 1 {
+		me.WaitFlagGE(st.flags, me.Rank(), creditSlot, sends-1)
+	}
+	off := (parity*sz + v.Rank) * cap_
+	pgas.PutThenNotify(me, co, v.T.GlobalRank(root), off, buf, st.flags, arriveSlot, 1, via)
 }

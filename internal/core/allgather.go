@@ -16,10 +16,11 @@ import (
 //
 // Flag layout: slot 0 intranode arrivals at the leader, slot 1 the leader's
 // release, slots 2.. the leaders' ring steps.
-func AllgatherTwoLevel(v *team.View, mine, out []float64) {
+func AllgatherTwoLevel[T any](v *team.View, mine, out []T) {
 	t := v.T
 	sz := t.Size()
 	n := len(mine)
+	es := pgas.ElemSize[T]()
 	if len(out) < sz*n {
 		panic(fmt.Sprintf("core: allgather out %d < %d", len(out), sz*n))
 	}
@@ -28,7 +29,7 @@ func AllgatherTwoLevel(v *team.View, mine, out []float64) {
 	if sz == 1 {
 		return
 	}
-	alg := "ag2"
+	alg := "ag2." + pgas.TypeName[T]()
 	nLeaders := len(t.Leaders())
 	steps := nLeaders - 1
 	w := v.Img.World()
@@ -66,7 +67,7 @@ func AllgatherTwoLevel(v *team.View, mine, out []float64) {
 	name := fmt.Sprintf("core:%s:team%d:cap%d", alg, t.ID(), cap_)
 	members := make([]int, sz)
 	copy(members, t.Members())
-	co := pgas.NewTeamCoarray[float64](w, name, 2*(full+steps*stepRegion), members)
+	co := pgas.NewTeamCoarray[T](w, name, 2*(full+steps*stepRegion), members)
 	base := parity * (full + steps*stepRegion)
 	me := v.Img
 	leader := t.LeaderOf(v.Rank)
@@ -81,7 +82,7 @@ func AllgatherTwoLevel(v *team.View, mine, out []float64) {
 		for r := 0; r < sz; r++ {
 			copy(out[r*n:r*n+n], local[base+r*cap_:base+r*cap_+n])
 		}
-		me.MemWork(8 * n * sz)
+		me.MemWork(es * n * sz)
 		return
 	}
 	// Leader: collect the node block.
@@ -103,18 +104,18 @@ func AllgatherTwoLevel(v *team.View, mine, out []float64) {
 			sendGroup := t.NodeGroup(sendPos)
 			reg := base + full + s*stepRegion
 			// Pack the block: contiguous per-member slices.
-			pack := make([]float64, len(sendGroup)*n)
+			pack := make([]T, len(sendGroup)*n)
 			for i, r := range sendGroup {
 				copy(pack[i*n:], local[base+r*cap_:base+r*cap_+n])
 			}
-			me.MemWork(8 * len(pack))
+			me.MemWork(es * len(pack))
 			pgas.PutThenNotify(me, co, next, reg, pack, st.flags, 2+s, 1, pgas.ViaConduit)
 			me.WaitFlagGE(st.flags, me.Rank(), 2+s, ep)
 			recvGroup := t.NodeGroup(recvPos)
 			for i, r := range recvGroup {
 				copy(local[base+r*cap_:base+r*cap_+n], local[reg+i*n:reg+i*n+n])
 			}
-			me.MemWork(8 * len(recvGroup) * n)
+			me.MemWork(es * len(recvGroup) * n)
 		}
 	}
 	// Fan out the assembled vector to the intranode set.
@@ -127,5 +128,5 @@ func AllgatherTwoLevel(v *team.View, mine, out []float64) {
 	for r := 0; r < sz; r++ {
 		copy(out[r*n:r*n+n], local[base+r*cap_:base+r*cap_+n])
 	}
-	me.MemWork(8 * n * sz)
+	me.MemWork(es * n * sz)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"cafteams/internal/coll"
 	"cafteams/internal/pgas"
 	"cafteams/internal/team"
@@ -39,10 +41,88 @@ func (l Level) String() string {
 	}
 }
 
-// Policy dispatches team collectives to flat or hierarchy-aware
-// implementations. The zero value is the flat runtime.
+// Tuning selects, per collective kind, which registered algorithm the
+// runtime dispatches to. The zero value ("" everywhere) defers entirely to
+// the hierarchy level — the paper's methodology. A field set to a name from
+// Algorithms(kind) forces that algorithm for every call; a field set to
+// AlgAuto ("auto") picks per call from the team shape *and* the message
+// size (hierarchy-aware where the team spans intranode sets, and within the
+// flat table latency-optimal algorithms for short vectors,
+// bandwidth-optimal ones for long vectors).
+type Tuning struct {
+	Barrier   string
+	Allreduce string
+	ReduceTo  string
+	Broadcast string
+	Allgather string
+}
+
+// For returns the tuning entry for kind k.
+func (t Tuning) For(k Kind) string {
+	switch k {
+	case KindBarrier:
+		return t.Barrier
+	case KindAllreduce:
+		return t.Allreduce
+	case KindReduceTo:
+		return t.ReduceTo
+	case KindBroadcast:
+		return t.Broadcast
+	case KindAllgather:
+		return t.Allgather
+	default:
+		return ""
+	}
+}
+
+// With returns a copy of t with kind k's algorithm set to name.
+func (t Tuning) With(k Kind, name string) Tuning {
+	switch k {
+	case KindBarrier:
+		t.Barrier = name
+	case KindAllreduce:
+		t.Allreduce = name
+	case KindReduceTo:
+		t.ReduceTo = name
+	case KindBroadcast:
+		t.Broadcast = name
+	case KindAllgather:
+		t.Allgather = name
+	}
+	return t
+}
+
+// AllAuto is the Tuning that applies the size- and shape-keyed auto rule to
+// every collective kind.
+func AllAuto() Tuning {
+	return Tuning{Barrier: AlgAuto, Allreduce: AlgAuto, ReduceTo: AlgAuto,
+		Broadcast: AlgAuto, Allgather: AlgAuto}
+}
+
+// Validate checks every non-empty entry against the registry.
+func (t Tuning) Validate() error {
+	for _, k := range Kinds() {
+		if name := t.For(k); !HasAlgorithm(k, name) {
+			return fmt.Errorf("tuning: unknown algorithm %s/%s (registered: %v)", k, name, Algorithms(k))
+		}
+	}
+	return nil
+}
+
+// autoLargeBytes is the payload size at which the auto rule switches the
+// flat table from latency-optimal algorithms (recursive doubling, binomial)
+// to bandwidth-optimal ones (ring, scatter-allgather): roughly where the
+// per-step ByteTime term overtakes the per-step latency term on the paper
+// cluster.
+const autoLargeBytes = 32 << 10
+
+// Policy dispatches team collectives through the algorithm registry. Level
+// picks the hierarchy methodology (the paper's contribution); Tuning
+// overrides individual kinds with explicitly named algorithms or the
+// size-aware auto rule. The zero value is the flat runtime.
 type Policy struct {
-	Level Level
+	Level  Level
+	Tuning Tuning
 }
 
 // effective resolves LevelAuto for a concrete team.
@@ -59,60 +139,119 @@ func (p Policy) effective(v *team.View) Level {
 	return LevelFlat
 }
 
+// algFor resolves the algorithm name for kind k on team v with a payload of
+// elems elements of elemSize bytes each: an explicit tuning entry wins;
+// otherwise the hierarchy level selects, and under the auto rule the flat
+// choice also keys on the payload size. elems < 0 means "size unknown"
+// (barriers) and suppresses size keying.
+func (p Policy) algFor(k Kind, v *team.View, elems, elemSize int) string {
+	name := p.Tuning.For(k)
+	sized := name == AlgAuto && elems >= 0
+	if name != "" && name != AlgAuto {
+		return name
+	}
+	level := p.effective(v)
+	nbytes := elems * elemSize
+	// The chunked algorithms (ring, scatter-allgather) need at least one
+	// element per member to beat their fallbacks.
+	large := sized && nbytes >= autoLargeBytes && elems >= v.NumImages()
+	switch k {
+	case KindBarrier:
+		switch level {
+		case LevelTwo:
+			return "tdlb"
+		case LevelThree:
+			return "tdlb3"
+		default:
+			return "dissemination"
+		}
+	case KindAllreduce:
+		switch level {
+		case LevelTwo:
+			return "2level"
+		case LevelThree:
+			return "3level"
+		default:
+			if large {
+				return "ring"
+			}
+			return "rd"
+		}
+	case KindReduceTo:
+		if level == LevelTwo || level == LevelThree {
+			return "2level"
+		}
+		return "binomial"
+	case KindBroadcast:
+		if level == LevelTwo || level == LevelThree {
+			return "2level"
+		}
+		if large {
+			return "scatter-allgather"
+		}
+		return "binomial"
+	case KindAllgather:
+		if level == LevelTwo || level == LevelThree {
+			return "2level"
+		}
+		if sized && nbytes < autoLargeBytes {
+			return "bruck"
+		}
+		return "ring"
+	}
+	panic(fmt.Sprintf("core: no algorithm for kind %v", k))
+}
+
 // Barrier synchronizes the team (CAF sync team / sync all within the
 // team).
 func (p Policy) Barrier(v *team.View) {
-	switch p.effective(v) {
-	case LevelTwo:
-		BarrierTDLB(v)
-	case LevelThree:
-		BarrierTDLB3(v)
-	default:
-		coll.BarrierDissemination(v, pgas.ViaConduit)
-	}
+	RunBarrier(p.algFor(KindBarrier, v, -1, 0), v)
 }
 
-// Allreduce performs the team all-to-all reduction (co_sum and friends).
-func (p Policy) Allreduce(v *team.View, buf []float64, op coll.Op) {
-	switch p.effective(v) {
-	case LevelTwo:
-		AllreduceTwoLevel(v, buf, op)
-	case LevelThree:
-		AllreduceThreeLevel(v, buf, op)
-	default:
-		coll.AllreduceRD(v, buf, op, pgas.ViaConduit)
-	}
+// PolicyAllreduce performs the team all-to-all reduction (co_sum and
+// friends) for any element type. (A package function because Go methods
+// cannot be generic; Policy.Allreduce is the float64 shorthand.)
+func PolicyAllreduce[T any](p Policy, v *team.View, buf []T, op coll.Op[T]) {
+	RunAllreduce(p.algFor(KindAllreduce, v, len(buf), pgas.ElemSize[T]()), v, buf, op)
+}
+
+// PolicyAllgather concatenates every member's mine vector into out (ordered
+// by team rank) on every member.
+func PolicyAllgather[T any](p Policy, v *team.View, mine, out []T) {
+	RunAllgather(p.algFor(KindAllgather, v, len(mine), pgas.ElemSize[T]()), v, mine, out)
+}
+
+// PolicyReduceTo performs the team reduce-to-one (the co_sum(result_image=...)
+// family): only team rank root receives the combined result.
+func PolicyReduceTo[T any](p Policy, v *team.View, root int, buf []T, op coll.Op[T]) {
+	RunReduceTo(p.algFor(KindReduceTo, v, len(buf), pgas.ElemSize[T]()), v, root, buf, op)
+}
+
+// PolicyBroadcast performs the team one-to-all broadcast (co_broadcast)
+// from team rank root.
+func PolicyBroadcast[T any](p Policy, v *team.View, root int, buf []T) {
+	RunBroadcast(p.algFor(KindBroadcast, v, len(buf), pgas.ElemSize[T]()), v, root, buf)
+}
+
+// Allreduce performs the team all-to-all reduction over float64 buffers.
+func (p Policy) Allreduce(v *team.View, buf []float64, op coll.Op[float64]) {
+	PolicyAllreduce(p, v, buf, op)
 }
 
 // Allgather concatenates every member's mine vector into out (ordered by
 // team rank) on every member.
 func (p Policy) Allgather(v *team.View, mine, out []float64) {
-	switch p.effective(v) {
-	case LevelTwo, LevelThree:
-		AllgatherTwoLevel(v, mine, out)
-	default:
-		coll.AllgatherRing(v, mine, out, pgas.ViaConduit)
-	}
+	PolicyAllgather(p, v, mine, out)
 }
 
 // ReduceTo performs the team reduce-to-one (the co_sum(result_image=...)
 // family): only team rank root receives the combined result.
-func (p Policy) ReduceTo(v *team.View, root int, buf []float64, op coll.Op) {
-	switch p.effective(v) {
-	case LevelTwo, LevelThree:
-		ReduceToRootTwoLevel(v, root, buf, op)
-	default:
-		coll.ReduceToRoot(v, root, buf, op, pgas.ViaConduit)
-	}
+func (p Policy) ReduceTo(v *team.View, root int, buf []float64, op coll.Op[float64]) {
+	PolicyReduceTo(p, v, root, buf, op)
 }
 
 // Broadcast performs the team one-to-all broadcast (co_broadcast) from team
 // rank root.
 func (p Policy) Broadcast(v *team.View, root int, buf []float64) {
-	switch p.effective(v) {
-	case LevelTwo, LevelThree:
-		BcastTwoLevel(v, root, buf)
-	default:
-		coll.BcastBinomial(v, root, buf, pgas.ViaConduit)
-	}
+	PolicyBroadcast(p, v, root, buf)
 }

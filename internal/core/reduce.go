@@ -46,7 +46,7 @@ func getRedState(v *team.View, alg string) *redState {
 
 // redScratch allocates the two-level reduction inbox: every member gets
 // regions for (its largest possible intranode set + result) per parity.
-func redScratch(v *team.View, alg string, elems int) (*pgas.Coarray[float64], int, int) {
+func redScratch[T any](v *team.View, alg string, elems int) (*pgas.Coarray[T], int, int) {
 	maxGroup := 1
 	for gi := 0; gi < v.T.NumNodeGroups(); gi++ {
 		if g := len(v.T.NodeGroup(gi)); g > maxGroup {
@@ -66,7 +66,7 @@ func redScratch(v *team.View, alg string, elems int) (*pgas.Coarray[float64], in
 	name := fmt.Sprintf("core:%s:team%d:cap%d", alg, v.T.ID(), c)
 	members := make([]int, v.T.Size())
 	copy(members, v.T.Members())
-	co := pgas.NewTeamCoarray[float64](v.Img.World(), name, c*2*regions, members)
+	co := pgas.NewTeamCoarray[T](v.Img.World(), name, c*2*regions, members)
 	return co, c, regions
 }
 
@@ -81,18 +81,19 @@ func redScratch(v *team.View, alg string, elems int) (*pgas.Coarray[float64], in
 //	        shared memory.
 //
 // buf is combined in place on every image.
-func AllreduceTwoLevel(v *team.View, buf []float64, op coll.Op) {
+func AllreduceTwoLevel[T any](v *team.View, buf []T, op coll.Op[T]) {
 	t := v.T
 	v.Img.World().Stats().Count(trace.OpReduce)
 	if t.Size() == 1 {
 		return
 	}
 	n := len(buf)
-	alg := "red2." + op.Name
+	es := pgas.ElemSize[T]()
+	alg := "red2." + op.Name + "." + pgas.TypeName[T]()
 	st := getRedState(v, alg)
 	st.ep[v.Rank]++
 	ep := st.ep[v.Rank]
-	co, cap_, regions := redScratch(v, alg, n)
+	co, cap_, regions := redScratch[T](v, alg, n)
 	parity := int(ep % 2)
 	region := func(k int) int { return (parity*regions + k) * cap_ }
 	me := v.Img
@@ -113,7 +114,7 @@ func AllreduceTwoLevel(v *team.View, buf []float64, op coll.Op) {
 		pgas.PutThenNotify(me, co, t.GlobalRank(leader), region(slot), buf, st.flags, 0, 1, pgas.ViaShm)
 		me.WaitFlagGE(st.flags, me.Rank(), 1, ep)
 		copy(buf, pgas.Local(co, me)[resultRegion:resultRegion+n])
-		me.MemWork(8 * n)
+		me.MemWork(es * n)
 		return
 	}
 	// Step 1 (leader): combine the intranode set's vectors.
@@ -126,7 +127,7 @@ func AllreduceTwoLevel(v *team.View, buf []float64, op coll.Op) {
 			}
 			off := region(i)
 			op.Combine(buf, local[off:off+n])
-			me.MemWork(16 * n)
+			me.MemWork(2 * es * n)
 		}
 	}
 	// Step 2: recursive doubling among leaders over the conduit.
@@ -145,18 +146,19 @@ func AllreduceTwoLevel(v *team.View, buf []float64, op coll.Op) {
 // source forwards to its node leader (shared memory), the node leaders run
 // a binomial broadcast over the network, and each leader fans out to its
 // intranode set over shared memory. root is a team rank.
-func BcastTwoLevel(v *team.View, root int, buf []float64) {
+func BcastTwoLevel[T any](v *team.View, root int, buf []T) {
 	t := v.T
 	v.Img.World().Stats().Count(trace.OpBroadcast)
 	if t.Size() == 1 {
 		return
 	}
 	n := len(buf)
-	alg := "bc2"
+	es := pgas.ElemSize[T]()
+	alg := "bc2." + pgas.TypeName[T]()
 	st := getRedState(v, alg)
 	st.ep[v.Rank]++
 	ep := st.ep[v.Rank]
-	co, cap_, regions := redScratch(v, alg, n)
+	co, cap_, regions := redScratch[T](v, alg, n)
 	parity := int(ep % 2)
 	dataRegion := (parity*regions + regions - 1) * cap_
 	me := v.Img
@@ -172,7 +174,7 @@ func BcastTwoLevel(v *team.View, root int, buf []float64) {
 		st.expect0[v.Rank]++
 		me.WaitFlagGE(st.flags, me.Rank(), 0, st.expect0[v.Rank])
 		copy(buf, pgas.Local(co, me)[dataRegion:dataRegion+n])
-		me.MemWork(8 * n)
+		me.MemWork(es * n)
 	}
 	// Step 1: binomial broadcast among node leaders (internally
 	// flow-controlled).
@@ -204,6 +206,6 @@ func BcastTwoLevel(v *team.View, root int, buf []float64) {
 	st.expect1[v.Rank]++
 	me.WaitFlagGE(st.flags, me.Rank(), 1, st.expect1[v.Rank])
 	copy(buf, pgas.Local(co, me)[dataRegion:dataRegion+n])
-	me.MemWork(8 * n)
+	me.MemWork(es * n)
 	me.NotifyAdd(st.flags, t.GlobalRank(leader), ackSlot, 1, pgas.ViaShm)
 }

@@ -17,18 +17,19 @@ import (
 // at the leader (parity-split because members here are only credit-gated,
 // so a fast member can run one episode ahead), slot 1 the root handoff,
 // slots 3/4 parity ack credits for the intranode landing regions.
-func ReduceToRootTwoLevel(v *team.View, root int, buf []float64, op coll.Op) {
+func ReduceToRootTwoLevel[T any](v *team.View, root int, buf []T, op coll.Op[T]) {
 	t := v.T
 	v.Img.World().Stats().Count(trace.OpReduce)
 	if t.Size() == 1 {
 		return
 	}
 	n := len(buf)
-	alg := "redto2." + op.Name
+	es := pgas.ElemSize[T]()
+	alg := "redto2." + op.Name + "." + pgas.TypeName[T]()
 	st := getRedState(v, alg)
 	st.ep[v.Rank]++
 	ep := st.ep[v.Rank]
-	co, cap_, regions := redScratch(v, alg, n)
+	co, cap_, regions := redScratch[T](v, alg, n)
 	parity := int(ep % 2)
 	region := func(k int) int { return (parity*regions + k) * cap_ }
 	resultRegion := region(regions - 1)
@@ -61,7 +62,7 @@ func ReduceToRootTwoLevel(v *team.View, root int, buf []float64, op coll.Op) {
 			st.expect1[v.Rank]++
 			me.WaitFlagGE(st.flags, me.Rank(), 1, st.expect1[v.Rank])
 			copy(buf, pgas.Local(co, me)[resultRegion:resultRegion+n])
-			me.MemWork(8 * n)
+			me.MemWork(es * n)
 		}
 		return
 	}
@@ -76,7 +77,7 @@ func ReduceToRootTwoLevel(v *team.View, root int, buf []float64, op coll.Op) {
 			}
 			off := region(i)
 			op.Combine(buf, local[off:off+n])
-			me.MemWork(16 * n)
+			me.MemWork(2 * es * n)
 			me.NotifyAdd(st.flags, t.GlobalRank(r), ackSlot, 1, pgas.ViaShm)
 		}
 	}

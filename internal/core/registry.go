@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cafteams/internal/coll"
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+)
+
+// Kind names one collective operation class. Every kind owns a table of
+// named algorithms; a (kind, algorithm-name) pair fully identifies one
+// implementation, e.g. "allreduce/rd" or "barrier/tdlb".
+type Kind int
+
+// The collective kinds of the runtime.
+const (
+	KindBarrier Kind = iota
+	KindAllreduce
+	KindReduceTo
+	KindBroadcast
+	KindAllgather
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBarrier:
+		return "barrier"
+	case KindAllreduce:
+		return "allreduce"
+	case KindReduceTo:
+		return "reduceto"
+	case KindBroadcast:
+		return "bcast"
+	case KindAllgather:
+		return "allgather"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Kinds returns every collective kind, in display order.
+func Kinds() []Kind {
+	return []Kind{KindBarrier, KindAllreduce, KindReduceTo, KindBroadcast, KindAllgather}
+}
+
+// ParseKind resolves a kind display name ("barrier", "allreduce", "reduceto",
+// "bcast", "allgather") back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown collective kind %q (want one of barrier, allreduce, reduceto, bcast, allgather)", s)
+}
+
+// Signatures of pluggable algorithm implementations. Barriers are
+// element-type independent; the data-bearing kinds are generic over the
+// element type and registered per instantiation.
+type (
+	// BarrierFn synchronizes the team.
+	BarrierFn func(v *team.View)
+	// AllreduceFn combines buf element-wise across the team; every member
+	// ends with the result.
+	AllreduceFn[T any] func(v *team.View, buf []T, op coll.Op[T])
+	// ReduceToFn combines buf onto team rank root only.
+	ReduceToFn[T any] func(v *team.View, root int, buf []T, op coll.Op[T])
+	// BroadcastFn copies team rank root's buf to every member.
+	BroadcastFn[T any] func(v *team.View, root int, buf []T)
+	// AllgatherFn concatenates every member's mine into out by team rank.
+	AllgatherFn[T any] func(v *team.View, mine, out []T)
+)
+
+// AlgAuto selects an algorithm per call from the team shape and message
+// size (see Tuning).
+const AlgAuto = "auto"
+
+// builtins lists the algorithm names compiled into each kind's table.
+// Built-in generic algorithms cannot be stored as values for every possible
+// element type, so dispatch instantiates them on demand (see runAllreduce
+// and friends); this table is the source of truth for listing/validation.
+var builtins = map[Kind][]string{
+	KindBarrier:   {"dissemination", "linear", "tree", "tournament", "tdlb", "tdll", "tdlb3"},
+	KindAllreduce: {"rd", "linear", "tree", "ring", "2level", "3level"},
+	KindReduceTo:  {"binomial", "linear", "2level"},
+	KindBroadcast: {"binomial", "linear", "scatter-allgather", "2level"},
+	KindAllgather: {"ring", "bruck", "2level"},
+}
+
+// custom holds user-registered algorithms: barriers keyed by name, typed
+// algorithms keyed by name plus the element type they were instantiated for.
+var (
+	customMu sync.RWMutex
+	custom   [numKinds]map[string]any
+	// customNames tracks the registered display names per kind (a typed
+	// algorithm registered for several element types appears once).
+	customNames [numKinds]map[string]bool
+)
+
+func typedKey[T any](name string) string { return name + "\x00" + pgas.TypeName[T]() }
+
+func register(k Kind, key, name string, fn any) {
+	if name == "" || name == AlgAuto || strings.ContainsAny(name, "/\x00") {
+		panic(fmt.Sprintf("core: invalid algorithm name %q for kind %s", name, k))
+	}
+	for _, b := range builtins[k] {
+		if b == name {
+			panic(fmt.Sprintf("core: algorithm %s/%s is built in and cannot be replaced", k, name))
+		}
+	}
+	customMu.Lock()
+	defer customMu.Unlock()
+	if custom[k] == nil {
+		custom[k] = map[string]any{}
+		customNames[k] = map[string]bool{}
+	}
+	custom[k][key] = fn
+	customNames[k][name] = true
+}
+
+func lookupCustom(k Kind, key string) (any, bool) {
+	customMu.RLock()
+	defer customMu.RUnlock()
+	fn, ok := custom[k][key]
+	return fn, ok
+}
+
+// RegisterBarrier adds a named barrier algorithm to the registry. It panics
+// on a name collision with a built-in; re-registering a custom name
+// replaces it.
+func RegisterBarrier(name string, fn BarrierFn) {
+	register(KindBarrier, name, name, fn)
+}
+
+// RegisterAllreduce adds a named allreduce algorithm for element type T.
+// A name must be registered once per element type it is used with.
+func RegisterAllreduce[T any](name string, fn AllreduceFn[T]) {
+	register(KindAllreduce, typedKey[T](name), name, fn)
+}
+
+// RegisterReduceTo adds a named reduce-to-one algorithm for element type T.
+func RegisterReduceTo[T any](name string, fn ReduceToFn[T]) {
+	register(KindReduceTo, typedKey[T](name), name, fn)
+}
+
+// RegisterBroadcast adds a named broadcast algorithm for element type T.
+func RegisterBroadcast[T any](name string, fn BroadcastFn[T]) {
+	register(KindBroadcast, typedKey[T](name), name, fn)
+}
+
+// RegisterAllgather adds a named allgather algorithm for element type T.
+func RegisterAllgather[T any](name string, fn AllgatherFn[T]) {
+	register(KindAllgather, typedKey[T](name), name, fn)
+}
+
+// Algorithms returns every selectable algorithm name for a kind: built-ins
+// in their canonical order, then custom registrations sorted by name.
+func Algorithms(k Kind) []string {
+	names := append([]string(nil), builtins[k]...)
+	customMu.RLock()
+	var extra []string
+	for name := range customNames[k] {
+		extra = append(extra, name)
+	}
+	customMu.RUnlock()
+	sort.Strings(extra)
+	return append(names, extra...)
+}
+
+// HasAlgorithm reports whether name is selectable for kind k ("auto" always
+// is).
+func HasAlgorithm(k Kind, name string) bool {
+	if name == "" || name == AlgAuto {
+		return true
+	}
+	for _, b := range builtins[k] {
+		if b == name {
+			return true
+		}
+	}
+	customMu.RLock()
+	defer customMu.RUnlock()
+	return customNames[k][name]
+}
+
+func unknownAlg(k Kind, name string) string {
+	return fmt.Sprintf("core: unknown algorithm %s/%s (registered: %s)",
+		k, name, strings.Join(Algorithms(k), ", "))
+}
+
+// typedMiss distinguishes "name never registered" from "name registered,
+// but not for this element type" when a typed lookup fails.
+func typedMiss[T any](k Kind, name string) string {
+	customMu.RLock()
+	known := customNames[k][name]
+	customMu.RUnlock()
+	if known {
+		return fmt.Sprintf("core: algorithm %s/%s is not registered for element type %s (register it with Register%s[%s] before use)",
+			k, name, pgas.TypeName[T](), registerName(k), pgas.TypeName[T]())
+	}
+	return unknownAlg(k, name)
+}
+
+func registerName(k Kind) string {
+	switch k {
+	case KindAllreduce:
+		return "Allreduce"
+	case KindReduceTo:
+		return "ReduceTo"
+	case KindBroadcast:
+		return "Broadcast"
+	case KindAllgather:
+		return "Allgather"
+	default:
+		return "Barrier"
+	}
+}
+
+// RunBarrier executes the named barrier algorithm on the team.
+func RunBarrier(name string, v *team.View) {
+	switch name {
+	case "dissemination":
+		coll.BarrierDissemination(v, pgas.ViaConduit)
+	case "linear":
+		coll.BarrierLinear(v, pgas.ViaConduit)
+	case "tree":
+		coll.BarrierTree(v, pgas.ViaConduit)
+	case "tournament":
+		coll.BarrierTournament(v, pgas.ViaConduit)
+	case "tdlb":
+		BarrierTDLB(v)
+	case "tdll":
+		BarrierTDLL(v)
+	case "tdlb3":
+		BarrierTDLB3(v)
+	default:
+		if fn, ok := lookupCustom(KindBarrier, name); ok {
+			fn.(BarrierFn)(v)
+			return
+		}
+		panic(unknownAlg(KindBarrier, name))
+	}
+}
+
+// RunAllreduce executes the named allreduce algorithm on buf.
+func RunAllreduce[T any](name string, v *team.View, buf []T, op coll.Op[T]) {
+	switch name {
+	case "rd":
+		coll.AllreduceRD(v, buf, op, pgas.ViaConduit)
+	case "linear":
+		coll.AllreduceLinear(v, buf, op, pgas.ViaConduit)
+	case "tree":
+		coll.AllreduceTree(v, buf, op, pgas.ViaConduit)
+	case "ring":
+		coll.AllreduceRing(v, buf, op, pgas.ViaConduit)
+	case "2level":
+		AllreduceTwoLevel(v, buf, op)
+	case "3level":
+		AllreduceThreeLevel(v, buf, op)
+	default:
+		if fn, ok := lookupCustom(KindAllreduce, typedKey[T](name)); ok {
+			fn.(AllreduceFn[T])(v, buf, op)
+			return
+		}
+		panic(typedMiss[T](KindAllreduce, name))
+	}
+}
+
+// RunReduceTo executes the named reduce-to-one algorithm; only team rank
+// root ends with the combined result.
+func RunReduceTo[T any](name string, v *team.View, root int, buf []T, op coll.Op[T]) {
+	switch name {
+	case "binomial":
+		coll.ReduceToRoot(v, root, buf, op, pgas.ViaConduit)
+	case "linear":
+		coll.ReduceToRootLinear(v, root, buf, op, pgas.ViaConduit)
+	case "2level":
+		ReduceToRootTwoLevel(v, root, buf, op)
+	default:
+		if fn, ok := lookupCustom(KindReduceTo, typedKey[T](name)); ok {
+			fn.(ReduceToFn[T])(v, root, buf, op)
+			return
+		}
+		panic(typedMiss[T](KindReduceTo, name))
+	}
+}
+
+// RunBroadcast executes the named broadcast algorithm from team rank root.
+func RunBroadcast[T any](name string, v *team.View, root int, buf []T) {
+	switch name {
+	case "binomial":
+		coll.BcastBinomial(v, root, buf, pgas.ViaConduit)
+	case "linear":
+		coll.BcastLinear(v, root, buf, pgas.ViaConduit)
+	case "scatter-allgather":
+		coll.BcastScatterAllgather(v, root, buf, pgas.ViaConduit)
+	case "2level":
+		BcastTwoLevel(v, root, buf)
+	default:
+		if fn, ok := lookupCustom(KindBroadcast, typedKey[T](name)); ok {
+			fn.(BroadcastFn[T])(v, root, buf)
+			return
+		}
+		panic(typedMiss[T](KindBroadcast, name))
+	}
+}
+
+// RunAllgather executes the named allgather algorithm.
+func RunAllgather[T any](name string, v *team.View, mine, out []T) {
+	switch name {
+	case "ring":
+		coll.AllgatherRing(v, mine, out, pgas.ViaConduit)
+	case "bruck":
+		coll.AllgatherBruck(v, mine, out, pgas.ViaConduit)
+	case "2level":
+		AllgatherTwoLevel(v, mine, out)
+	default:
+		if fn, ok := lookupCustom(KindAllgather, typedKey[T](name)); ok {
+			fn.(AllgatherFn[T])(v, mine, out)
+			return
+		}
+		panic(typedMiss[T](KindAllgather, name))
+	}
+}

@@ -20,18 +20,19 @@ import (
 //
 // Flag layout: slot 0 socket arrivals, slot 1 socket release, slot 2 node
 // arrivals, slot 3 node release.
-func AllreduceThreeLevel(v *team.View, buf []float64, op coll.Op) {
+func AllreduceThreeLevel[T any](v *team.View, buf []T, op coll.Op[T]) {
 	t := v.T
 	v.Img.World().Stats().Count(trace.OpReduce)
 	if t.Size() == 1 {
 		return
 	}
 	n := len(buf)
-	alg := "red3." + op.Name
+	es := pgas.ElemSize[T]()
+	alg := "red3." + op.Name + "." + pgas.TypeName[T]()
 	st := getRedState(v, alg)
 	st.ep[v.Rank]++
 	ep := st.ep[v.Rank]
-	co, cap_, regions := red3Scratch(v, alg, n)
+	co, cap_, regions, leaderBase := red3Scratch[T](v, alg, n)
 	parity := int(ep % 2)
 	region := func(k int) int { return (parity*regions + k) * cap_ }
 	resultRegion := region(regions - 1)
@@ -49,7 +50,7 @@ func AllreduceThreeLevel(v *team.View, buf []float64, op coll.Op) {
 		pgas.PutThenNotify(me, co, t.GlobalRank(mySocketLeader), region(slot), buf, st.flags, 0, 1, pgas.ViaShm)
 		me.WaitFlagGE(st.flags, me.Rank(), 1, ep)
 		copy(buf, pgas.Local(co, me)[resultRegion:resultRegion+n])
-		me.MemWork(8 * n)
+		me.MemWork(es * n)
 		return
 	}
 	// Socket leader: combine the socket group's vectors.
@@ -62,17 +63,19 @@ func AllreduceThreeLevel(v *team.View, buf []float64, op coll.Op) {
 			}
 			off := region(i)
 			op.Combine(buf, local[off:off+n])
-			me.MemWork(16 * n)
+			me.MemWork(2 * es * n)
 		}
 	}
 	if v.Rank != nodeLeader {
 		// Step 2 (socket leader): contribute to the node leader, await
-		// result, then release the socket.
-		slot := slotIn(sleaders, v.Rank)
+		// result, then release the socket. Socket leaders land in their
+		// own region range (leaderBase..) — a socket-group member of the
+		// node leader's socket writes the low regions concurrently.
+		slot := leaderBase + slotIn(sleaders, v.Rank)
 		pgas.PutThenNotify(me, co, t.GlobalRank(nodeLeader), region(slot), buf, st.flags, 2, 1, pgas.ViaShm)
 		me.WaitFlagGE(st.flags, me.Rank(), 3, ep)
 		copy(buf, pgas.Local(co, me)[resultRegion:resultRegion+n])
-		me.MemWork(8 * n)
+		me.MemWork(es * n)
 	} else {
 		// Node leader: combine the other socket leaders' partials.
 		if len(sleaders) > 1 {
@@ -82,9 +85,9 @@ func AllreduceThreeLevel(v *team.View, buf []float64, op coll.Op) {
 				if r == v.Rank {
 					continue
 				}
-				off := region(i)
+				off := region(leaderBase + i)
 				op.Combine(buf, local[off:off+n])
-				me.MemWork(16 * n)
+				me.MemWork(2 * es * n)
 			}
 		}
 		// Step 3: network recursive doubling among node leaders.
@@ -106,21 +109,26 @@ func AllreduceThreeLevel(v *team.View, buf []float64, op coll.Op) {
 	}
 }
 
-// red3Scratch sizes the 3-level inbox: enough regions for the largest
-// socket group, the largest socket-leader set, and the result, per parity.
-func red3Scratch(v *team.View, alg string, elems int) (*pgas.Coarray[float64], int, int) {
+// red3Scratch sizes the 3-level inbox: regions for the largest socket
+// group, then (disjoint, at leaderBase) for the largest socket-leader set,
+// then the result, per parity. The socket-member and socket-leader ranges
+// must not overlap: at a node leader both its own socket's members and the
+// other socket leaders deposit concurrently.
+func red3Scratch[T any](v *team.View, alg string, elems int) (co *pgas.Coarray[T], cap_, regions, leaderBase int) {
 	maxGroup := 1
+	maxLead := 1
 	for gi := 0; gi < v.T.NumNodeGroups(); gi++ {
 		for _, sg := range v.T.SocketGroups(gi) {
 			if len(sg) > maxGroup {
 				maxGroup = len(sg)
 			}
 		}
-		if l := len(v.T.SocketLeaders(gi)); l > maxGroup {
-			maxGroup = l
+		if l := len(v.T.SocketLeaders(gi)); l > maxLead {
+			maxLead = l
 		}
 	}
-	regions := maxGroup + 1
+	leaderBase = maxGroup
+	regions = maxGroup + maxLead + 1
 	c := 16
 	for c < elems {
 		c <<= 1
@@ -128,8 +136,8 @@ func red3Scratch(v *team.View, alg string, elems int) (*pgas.Coarray[float64], i
 	name := fmt.Sprintf("core:%s:team%d:cap%d", alg, v.T.ID(), c)
 	members := make([]int, v.T.Size())
 	copy(members, v.T.Members())
-	co := pgas.NewTeamCoarray[float64](v.Img.World(), name, c*2*regions, members)
-	return co, c, regions
+	co = pgas.NewTeamCoarray[T](v.Img.World(), name, c*2*regions, members)
+	return co, c, regions, leaderBase
 }
 
 // slotIn returns r's index within group.

@@ -44,7 +44,7 @@ type Result struct {
 
 // maxLoc combines (|value|, row) pairs keeping the largest value, breaking
 // ties toward the lower row — matching the serial pivot search order.
-var maxLoc = coll.Op{Name: "maxloc", Combine: func(dst, src []float64) {
+var maxLoc = coll.Op[float64]{Name: "maxloc", Combine: func(dst, src []float64) {
 	if src[0] > dst[0] || (src[0] == dst[0] && src[1] < dst[1]) {
 		dst[0], dst[1] = src[0], src[1]
 	}

@@ -40,6 +40,17 @@ func sizeOf[T any]() int {
 	}
 }
 
+// ElemSize returns the byte size charged per element of T when transferring
+// coarrays of T (the same inference Put/Get cost accounting uses).
+func ElemSize[T any]() int { return sizeOf[T]() }
+
+// TypeName returns a stable tag naming T, for keying per-type allocations
+// (two coarrays that share a name but differ in element type must not alias).
+func TypeName[T any]() string {
+	var z T
+	return fmt.Sprintf("%T", z)
+}
+
 // NewCoarray collectively allocates a coarray of n elements per image across
 // the whole world.
 func NewCoarray[T any](w *World, name string, n int) *Coarray[T] {
