@@ -1,0 +1,103 @@
+// Non-blocking (split-phase) collective intrinsics: initiate with an Async
+// call, overlap local work, complete with Handle.Wait. The returned Handle
+// progresses whenever the image gives the runtime a chance — inside
+// Handle.Wait, during Image.Compute (compute time is interleaved with
+// progress polls), or on an explicit Image.Progress — so collective rounds
+// advance behind computation instead of serializing after it.
+//
+// Rules, matching real split-phase collective APIs:
+//
+//   - the buffers handed to an Async call must not be read or written until
+//     Wait returns (Test returning true is equivalent to Wait);
+//   - Async calls are collective: every image of the team must make the
+//     matching call, in the same order relative to its other collectives;
+//   - every handle must be completed (Wait, or Test to completion) before
+//     the image's body returns.
+//
+// Operations of different kinds — or different element types/operations —
+// may be in flight together and interleave freely; repeated operations of
+// the same kind are internally serialized per image in initiation order.
+package caf
+
+import (
+	"cafteams/internal/coll"
+	"cafteams/internal/core"
+	"cafteams/internal/pgas"
+)
+
+// Handle is the completion handle of a non-blocking collective. Wait blocks
+// until the operation completes (progressing every in-flight operation of
+// the image); Test polls without blocking; Done observes without
+// progressing.
+type Handle = core.Handle
+
+// Progress gives the runtime an explicit chance to advance this image's
+// in-flight non-blocking collectives without blocking, returning how many
+// are still pending. Code that overlaps through Compute or Wait never needs
+// it; spin loops over application conditions should call it each iteration.
+func (im *Image) Progress() int { return im.img.Progress() }
+
+// CoSumAsync initiates a non-blocking element-wise sum reduction across the
+// current team (split-phase co_sum); every image holds the result in a
+// after Wait. CoSumAsyncT is the generic form.
+func (im *Image) CoSumAsync(a []float64) *Handle { return CoSumAsyncT(im, a) }
+
+// CoMaxAsync initiates a non-blocking element-wise maximum reduction.
+func (im *Image) CoMaxAsync(a []float64) *Handle { return CoMaxAsyncT(im, a) }
+
+// CoMinAsync initiates a non-blocking element-wise minimum reduction.
+func (im *Image) CoMinAsync(a []float64) *Handle { return CoMinAsyncT(im, a) }
+
+// CoBroadcastAsync initiates a non-blocking broadcast of a from sourceImage
+// (1-based, current team).
+func (im *Image) CoBroadcastAsync(a []float64, sourceImage int) *Handle {
+	return CoBroadcastAsyncT(im, a, sourceImage)
+}
+
+// CoAllgatherAsync initiates a non-blocking concatenation of every image's
+// mine vector into out, ordered by team rank. out must hold
+// NumImages()*len(mine) elements.
+func (im *Image) CoAllgatherAsync(mine, out []float64) *Handle {
+	return CoAllgatherAsyncT(im, mine, out)
+}
+
+// CoSumAsyncT initiates a non-blocking sum reduction for any numeric
+// element type.
+func CoSumAsyncT[T Numeric](im *Image, a []T) *Handle {
+	return core.PolicyAllreduceAsync(im.pol, im.view(), a, coll.SumOp[T]())
+}
+
+// CoMaxAsyncT initiates a non-blocking maximum reduction for any numeric
+// element type.
+func CoMaxAsyncT[T Numeric](im *Image, a []T) *Handle {
+	return core.PolicyAllreduceAsync(im.pol, im.view(), a, coll.MaxOp[T]())
+}
+
+// CoMinAsyncT initiates a non-blocking minimum reduction for any numeric
+// element type.
+func CoMinAsyncT[T Numeric](im *Image, a []T) *Handle {
+	return core.PolicyAllreduceAsync(im.pol, im.view(), a, coll.MinOp[T]())
+}
+
+// CoReduceAsyncT initiates a non-blocking reduction with a caller-supplied
+// associative, commutative operation. name keys the runtime's internal
+// state; use one name per distinct operation.
+func CoReduceAsyncT[T any](im *Image, a []T, name string, combine func(dst, src []T)) *Handle {
+	return core.PolicyAllreduceAsync(im.pol, im.view(), a, coll.Op[T]{Name: name, Combine: combine})
+}
+
+// CoBroadcastAsyncT initiates a non-blocking broadcast from sourceImage
+// (1-based, current team) for any element type.
+func CoBroadcastAsyncT[T any](im *Image, a []T, sourceImage int) *Handle {
+	return core.PolicyBroadcastAsync(im.pol, im.view(), sourceImage-1, a)
+}
+
+// CoAllgatherAsyncT initiates a non-blocking allgather for any element
+// type.
+func CoAllgatherAsyncT[T any](im *Image, mine, out []T) *Handle {
+	return core.PolicyAllgatherAsync(im.pol, im.view(), mine, out)
+}
+
+// compile-time check that the handle type is the pgas engine's handle (the
+// caf and core aliases must stay in sync).
+var _ *pgas.AsyncOp = (*Handle)(nil)

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cafteams/internal/hpl"
+)
+
+// TestRunOneSmoke runs one small HPL configuration through the same path
+// main drives, for every paper variant, so the command is exercised by
+// tier-1 without a figure-sized problem.
+func TestRunOneSmoke(t *testing.T) {
+	cfg := hpl.FigureConfig{Spec: "4(1)", N: 128, NB: 32, P: 2, Q: 2}
+	for _, v := range hpl.PaperVariants() {
+		res := runOne(v, cfg)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", v.Name, res.Err)
+		}
+		if res.GFlops <= 0 {
+			t.Fatalf("%s: non-positive GFLOP/s %v", v.Name, res.GFlops)
+		}
+	}
+}
+
+// TestFigure1ConfigsWellFormed pins the table axes main renders.
+func TestFigure1ConfigsWellFormed(t *testing.T) {
+	configs := hpl.Figure1Configs()
+	if len(configs) == 0 {
+		t.Fatal("no figure 1 configs")
+	}
+	for _, c := range configs {
+		if c.N <= 0 || c.NB <= 0 || c.P*c.Q <= 0 || c.Spec == "" {
+			t.Fatalf("malformed config %+v", c)
+		}
+	}
+	if s := sizes(configs); !strings.Contains(s, configs[0].Spec) {
+		t.Fatalf("sizes() = %q missing %q", s, configs[0].Spec)
+	}
+}
+
+// TestShorten pins the variant-name compaction used in the table header.
+func TestShorten(t *testing.T) {
+	if got := shorten("UHCAF 2-level"); got != "UHCAF-2-level" {
+		t.Fatalf("shorten = %q", got)
+	}
+}

@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1, e2, e3, e4, e6, e7 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1, e2, e3, e4, e6, e7, overlap or all")
 	iters := flag.Int("iters", 10, "episodes per measurement")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	alg := flag.String("alg", "", `sweep the algorithm registry: "list", "all", a kind ("allreduce"), or comma-separated "kind/name" entries`)
@@ -62,6 +62,7 @@ func main() {
 		fmt.Println()
 	}
 
+	run("overlap", overlap, "Overlap: blocking vs split-phase (nb-*) co_sum with compute between initiate and wait", "2level blocking (compute; co_sum)")
 	run("e1", e1, "E1: barrier on a flat hierarchy (1 image/node) — TDLB vs dissemination parity", "GASNet RDMA dissemination")
 	run("e2", e2, "E2: barrier with 8 images/node — TDLB vs the comparator stacks (paper: up to 26x over the UHCAF baseline)", "TDLB (2-level)")
 	run("e3", e3, "E3: all-to-all reduction with 8 images/node (paper: up to 74x)", "two-level reduction")
@@ -104,6 +105,12 @@ func runAlgSweep(sel, specs string, elems, iters int, csv bool) error {
 				add(k, bench.RegistryComparators(k))
 				continue
 			}
+			// "auto" (and "") are valid Tuning entries but name a per-call
+			// selection rule, not a concrete algorithm — nothing to sweep.
+			if algName == "" || algName == core.AlgAuto {
+				return fmt.Errorf("%q is not sweepable: %q is a selection rule, not an algorithm (sweep the whole kind with %q instead)",
+					entry, algName, kindName)
+			}
 			if !core.HasAlgorithm(k, algName) {
 				return fmt.Errorf("unknown algorithm %q (registered for %s: %s)",
 					entry, k, strings.Join(core.Algorithms(k), " "))
@@ -111,6 +118,7 @@ func runAlgSweep(sel, specs string, elems, iters int, csv bool) error {
 			add(k, []bench.Comparator{bench.RegistryComparator(k, algName)})
 		}
 	}
+	var csvPts []bench.Point // accumulated across kinds: one header, one block
 	for _, k := range order {
 		cmps := byKind[k]
 		n := elems
@@ -132,12 +140,15 @@ func runAlgSweep(sel, specs string, elems, iters int, csv bool) error {
 			}
 		}
 		if csv {
-			bench.CSV(os.Stdout, pts)
+			csvPts = append(csvPts, pts...)
 			continue
 		}
 		title := fmt.Sprintf("registry sweep: %s (%d elems)", k, n)
 		bench.Table(os.Stdout, title, pts, cmps[0].Name)
 		fmt.Println()
+	}
+	if csv {
+		bench.CSV(os.Stdout, csvPts)
 	}
 	return nil
 }
@@ -148,6 +159,22 @@ func must(p bench.Point, err error) bench.Point {
 		os.Exit(1)
 	}
 	return p
+}
+
+// overlap: split-phase collectives — each episode computes ~55 us of local
+// work and reduces a 128-element vector; the overlapped rows initiate the
+// reduction first and compute while the progress engine drives it.
+func overlap(iters int) []bench.Point {
+	const flops = 3e4
+	var pts []bench.Point
+	for _, spec := range []string{"16(2)", "64(8)", "352(44)"} {
+		for _, alg := range []string{"2level", "rd"} {
+			for _, c := range bench.OverlapComparators(alg, flops) {
+				pts = append(pts, must(bench.Measure(spec, c, 128, iters)))
+			}
+		}
+	}
+	return pts
 }
 
 // e1: one image per node; TDLB degenerates to dissemination.

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestAlgSweepList: the `-alg list` path prints every kind with its
+// registry names, including the split-phase entries.
+func TestAlgSweepList(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := runAlgSweep("list", "", 8, 1, false); err != nil {
+			t.Errorf("alg list: %v", err)
+		}
+	})
+	for _, want := range []string{"barrier", "allreduce", "tdlb", "nb-rd", "nb-2level", "nb-binomial", "nb-ring"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("alg list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAlgSweepMeasures: a small named sweep renders a table with the
+// requested algorithms.
+func TestAlgSweepMeasures(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := runAlgSweep("allreduce/rd,allreduce/nb-rd,barrier/tdlb", "8(2)", 4, 1, false); err != nil {
+			t.Errorf("alg sweep: %v", err)
+		}
+	})
+	for _, want := range []string{"allreduce/rd", "allreduce/nb-rd", "barrier/tdlb", "latency/op"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAlgSweepCSV: the CSV path emits a header and one row per
+// (spec, comparator).
+func TestAlgSweepCSV(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := runAlgSweep("bcast/nb-2level", "8(2)", 4, 1, true); err != nil {
+			t.Errorf("alg csv sweep: %v", err)
+		}
+	})
+	if !strings.Contains(out, "spec,comparator") || !strings.Contains(out, "bcast/nb-2level") {
+		t.Fatalf("csv sweep output malformed:\n%s", out)
+	}
+}
+
+// TestAlgSweepRejectsUnknown pins the error path.
+func TestAlgSweepRejectsUnknown(t *testing.T) {
+	if err := runAlgSweep("allreduce/no-such-alg", "8(2)", 4, 1, false); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := runAlgSweep("nokind/rd", "8(2)", 4, 1, false); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// "auto" and "" are Tuning selection rules, not sweepable algorithms;
+	// they used to panic mid-measurement instead of erroring up front.
+	if err := runAlgSweep("allreduce/auto", "8(2)", 4, 1, false); err == nil {
+		t.Fatal("allreduce/auto accepted")
+	}
+	if err := runAlgSweep("allreduce/", "8(2)", 4, 1, false); err == nil {
+		t.Fatal("empty algorithm name accepted")
+	}
+}
+
+// TestExperimentTables smoke-runs the cheapest experiment and the overlap
+// table so the e* plumbing is exercised by tier-1.
+func TestExperimentTables(t *testing.T) {
+	pts := e1(1)
+	if len(pts) == 0 {
+		t.Fatal("e1 produced no points")
+	}
+	for _, p := range pts {
+		if p.Latency <= 0 {
+			t.Fatalf("e1 point %+v has non-positive latency", p)
+		}
+	}
+	ov := overlap(1)
+	if len(ov) == 0 {
+		t.Fatal("overlap produced no points")
+	}
+	// Each (spec, alg) pair is blocking-then-overlapped; overlapped must
+	// never be slower.
+	for i := 0; i+1 < len(ov); i += 2 {
+		if ov[i+1].Latency >= ov[i].Latency {
+			t.Fatalf("overlap table: %q (%d ns) not faster than %q (%d ns)",
+				ov[i+1].Comparator, ov[i+1].Latency, ov[i].Comparator, ov[i].Latency)
+		}
+	}
+}

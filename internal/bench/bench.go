@@ -194,6 +194,61 @@ func RegistryComparators(k core.Kind) []Comparator {
 	return cmps
 }
 
+// OverlapComparator builds one side of the blocking-vs-overlapped
+// comparison for a compute+co_sum episode — the pattern of the CG dot
+// product and the heat2d residual check. Each episode charges flops of
+// independent local work and performs one allreduce of the benchmark
+// vector:
+//
+//	blocking:   compute; allreduce(alg)
+//	overlapped: initiate(async counterpart of alg); compute; wait
+//
+// The overlapped side progresses the collective's rounds behind the compute
+// (Image.Compute polls the progress engine), so its episode time approaches
+// max(compute, collective) instead of their sum. alg is a blocking
+// KindAllreduce registry name; the overlapped side runs the split-phase
+// machine core.AsyncCounterpart maps it to.
+func OverlapComparator(alg string, flops float64, overlapped bool) Comparator {
+	name := fmt.Sprintf("%s blocking (compute; co_sum)", alg)
+	if overlapped {
+		nb, ok := core.AsyncCounterpart(core.KindAllreduce, alg)
+		if !ok {
+			panic(fmt.Sprintf("bench: allreduce/%s has no async counterpart", alg))
+		}
+		name = fmt.Sprintf("%s overlapped (init; compute; wait)", nb)
+		return Comparator{
+			Name:    name,
+			Conduit: machine.ConduitGASNetRDMA,
+			Run: func(v *team.View, buf []float64, iters int) {
+				for i := 0; i < iters; i++ {
+					h := core.StartAllreduce(nb, v, buf, coll.Sum)
+					v.Img.Compute(flops)
+					h.Wait()
+				}
+			},
+		}
+	}
+	return Comparator{
+		Name:    name,
+		Conduit: machine.ConduitGASNetRDMA,
+		Run: func(v *team.View, buf []float64, iters int) {
+			for i := 0; i < iters; i++ {
+				v.Img.Compute(flops)
+				core.RunAllreduce(alg, v, buf, coll.Sum)
+			}
+		},
+	}
+}
+
+// OverlapComparators returns the blocking/overlapped pair for one blocking
+// allreduce algorithm — the rows of the overlap table.
+func OverlapComparators(alg string, flops float64) []Comparator {
+	return []Comparator{
+		OverlapComparator(alg, flops, false),
+		OverlapComparator(alg, flops, true),
+	}
+}
+
 // Point is one measured cell: mean latency per episode.
 type Point struct {
 	Spec       string

@@ -73,6 +73,41 @@ func TestTDLBBeatsAMBaseline(t *testing.T) {
 	}
 }
 
+// TestOverlapStrictlyBeatsBlocking is the overlap benchmark's acceptance
+// property: for both the hierarchy-aware and the flat allreduce, the
+// overlapped (split-phase) episode must be strictly faster than the
+// blocking compute-then-reduce episode on a dense placement.
+func TestOverlapStrictlyBeatsBlocking(t *testing.T) {
+	const flops = 3e4
+	for _, alg := range []string{"2level", "rd"} {
+		pair := OverlapComparators(alg, flops)
+		blocking, err := Measure("16(2)", pair[0], 128, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overlapped, err := Measure("16(2)", pair[1], 128, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if overlapped.Latency >= blocking.Latency {
+			t.Fatalf("%s: overlapped %d ns >= blocking %d ns", alg, overlapped.Latency, blocking.Latency)
+		}
+		t.Logf("%s: blocking %d ns, overlapped %d ns (%.2fx)",
+			alg, blocking.Latency, overlapped.Latency,
+			float64(blocking.Latency)/float64(overlapped.Latency))
+	}
+}
+
+func TestOverlapComparatorNames(t *testing.T) {
+	pair := OverlapComparators("2level", 1000)
+	if len(pair) != 2 || pair[0].Name == pair[1].Name {
+		t.Fatalf("malformed overlap pair %+v", pair)
+	}
+	if !strings.Contains(pair[0].Name, "blocking") || !strings.Contains(pair[1].Name, "overlapped") {
+		t.Fatalf("overlap pair names = %q, %q", pair[0].Name, pair[1].Name)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	var buf bytes.Buffer
 	pts := []Point{

@@ -52,12 +52,7 @@ func AllgatherTwoLevel[T any](v *team.View, mine, out []T) {
 	// Scratch: the full gathered vector per parity (landing area for the
 	// fan-out and the leaders' ring blocks, addressed by team rank), plus
 	// per-ring-step regions sized to the largest node block.
-	maxGroup := 1
-	for gi := 0; gi < t.NumNodeGroups(); gi++ {
-		if g := len(t.NodeGroup(gi)); g > maxGroup {
-			maxGroup = g
-		}
-	}
+	maxGroup := maxNodeGroup(v)
 	cap_ := 16
 	for cap_ < n {
 		cap_ <<= 1

@@ -26,6 +26,10 @@ type redState struct {
 	// ackExpect[p][r] is leader r's cumulative expected member-ack count
 	// on the parity-p ack slot (fan-out flow control in BcastTwoLevel).
 	ackExpect [2][]int64
+	// sendExpect[p][r] counts the same-parity root->leader handoff puts
+	// image r has issued (BcastTwoLevel's handoff flow control: a root
+	// gates send s on the leader's consumption ack for send s-1).
+	sendExpect [2][]int64
 }
 
 func getRedState(v *team.View, alg string) *redState {
@@ -40,20 +44,31 @@ func getRedState(v *team.View, alg string) *redState {
 		}
 		s.ackExpect[0] = make([]int64, v.T.Size())
 		s.ackExpect[1] = make([]int64, v.T.Size())
+		s.sendExpect[0] = make([]int64, v.T.Size())
+		s.sendExpect[1] = make([]int64, v.T.Size())
 		return s
 	}).(*redState)
 }
 
-// redScratch allocates the two-level reduction inbox: every member gets
-// regions for (its largest possible intranode set + result) per parity.
-func redScratch[T any](v *team.View, alg string, elems int) (*pgas.Coarray[T], int, int) {
+// maxNodeGroup returns the size of the team's largest intranode set — the
+// quantity every two-level inbox layout is sized from. The blocking scratch
+// helpers and the split-phase machine constructors share this scan so their
+// region layouts cannot drift apart (they must match: both address the same
+// per-slot parity regions).
+func maxNodeGroup(v *team.View) int {
 	maxGroup := 1
 	for gi := 0; gi < v.T.NumNodeGroups(); gi++ {
 		if g := len(v.T.NodeGroup(gi)); g > maxGroup {
 			maxGroup = g
 		}
 	}
-	regions := maxGroup + 1 // group slots + result slot
+	return maxGroup
+}
+
+// redScratch allocates the two-level reduction inbox: every member gets
+// regions for (its largest possible intranode set + result) per parity.
+func redScratch[T any](v *team.View, alg string, elems int) (*pgas.Coarray[T], int, int) {
+	regions := maxNodeGroup(v) + 1 // group slots + result slot
 	cap_ := elems
 	if cap_ < 16 {
 		cap_ = 16
@@ -167,7 +182,15 @@ func BcastTwoLevel[T any](v *team.View, root int, buf []T) {
 	rootLeader := t.LeaderOf(root)
 	ackSlot := 3 + parity
 	// Step 0: a non-leader source hands the payload to its node leader.
+	// The handoff is the one edge with no downstream wait on the root's
+	// critical path, so it carries its own credit: the root may not reuse
+	// a parity landing region before the leader acked consuming the
+	// previous same-parity handoff (slots 5/6).
 	if v.Rank == root && root != rootLeader {
+		st.sendExpect[parity][v.Rank]++
+		if sends := st.sendExpect[parity][v.Rank]; sends > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), 5+parity, sends-1)
+		}
 		pgas.PutThenNotify(me, co, t.GlobalRank(rootLeader), dataRegion, buf, st.flags, 0, 1, pgas.ViaShm)
 	}
 	if v.Rank == rootLeader && root != rootLeader {
@@ -175,6 +198,7 @@ func BcastTwoLevel[T any](v *team.View, root int, buf []T) {
 		me.WaitFlagGE(st.flags, me.Rank(), 0, st.expect0[v.Rank])
 		copy(buf, pgas.Local(co, me)[dataRegion:dataRegion+n])
 		me.MemWork(es * n)
+		me.NotifyAdd(st.flags, t.GlobalRank(root), 5+parity, 1, pgas.ViaShm)
 	}
 	// Step 1: binomial broadcast among node leaders (internally
 	// flow-controlled).

@@ -84,12 +84,16 @@ const AlgAuto = "auto"
 // Built-in generic algorithms cannot be stored as values for every possible
 // element type, so dispatch instantiates them on demand (see runAllreduce
 // and friends); this table is the source of truth for listing/validation.
+// The "nb-" names are the split-phase (non-blocking) machines of async.go:
+// dispatched through Run* they initiate and immediately wait (so sweeps and
+// Tuning treat them like any other algorithm); dispatched through Start*
+// they return a Handle for compute/communication overlap.
 var builtins = map[Kind][]string{
 	KindBarrier:   {"dissemination", "linear", "tree", "tournament", "tdlb", "tdll", "tdlb3"},
-	KindAllreduce: {"rd", "linear", "tree", "ring", "2level", "3level"},
+	KindAllreduce: {"rd", "linear", "tree", "ring", "2level", "3level", "nb-rd", "nb-2level"},
 	KindReduceTo:  {"binomial", "linear", "2level"},
-	KindBroadcast: {"binomial", "linear", "scatter-allgather", "2level"},
-	KindAllgather: {"ring", "bruck", "2level"},
+	KindBroadcast: {"binomial", "linear", "scatter-allgather", "2level", "nb-binomial", "nb-2level"},
+	KindAllgather: {"ring", "bruck", "2level", "nb-ring", "nb-2level"},
 }
 
 // custom holds user-registered algorithms: barriers keyed by name, typed
@@ -262,6 +266,8 @@ func RunAllreduce[T any](name string, v *team.View, buf []T, op coll.Op[T]) {
 		AllreduceTwoLevel(v, buf, op)
 	case "3level":
 		AllreduceThreeLevel(v, buf, op)
+	case "nb-rd", "nb-2level":
+		StartAllreduce(name, v, buf, op).Wait()
 	default:
 		if fn, ok := lookupCustom(KindAllreduce, typedKey[T](name)); ok {
 			fn.(AllreduceFn[T])(v, buf, op)
@@ -301,6 +307,8 @@ func RunBroadcast[T any](name string, v *team.View, root int, buf []T) {
 		coll.BcastScatterAllgather(v, root, buf, pgas.ViaConduit)
 	case "2level":
 		BcastTwoLevel(v, root, buf)
+	case "nb-binomial", "nb-2level":
+		StartBroadcast(name, v, root, buf).Wait()
 	default:
 		if fn, ok := lookupCustom(KindBroadcast, typedKey[T](name)); ok {
 			fn.(BroadcastFn[T])(v, root, buf)
@@ -319,6 +327,8 @@ func RunAllgather[T any](name string, v *team.View, mine, out []T) {
 		coll.AllgatherBruck(v, mine, out, pgas.ViaConduit)
 	case "2level":
 		AllgatherTwoLevel(v, mine, out)
+	case "nb-ring", "nb-2level":
+		StartAllgather(name, v, mine, out).Wait()
 	default:
 		if fn, ok := lookupCustom(KindAllgather, typedKey[T](name)); ok {
 			fn.(AllgatherFn[T])(v, mine, out)

@@ -66,6 +66,7 @@ func (im *Image) FetchOpFlag(f *Flags, target, idx int, op AtomicOp, operand int
 		old := f.data[target][idx]
 		f.data[target][idx] = op.apply(old, operand)
 		f.cond[target].Wake(w.env)
+		w.wakeAsync(target)
 		return old
 	}
 	if target == im.rank {
@@ -114,6 +115,7 @@ func (im *Image) CompareAndSwapFlag(f *Flags, target, idx int, expected, desired
 		if old == expected {
 			f.data[target][idx] = desired
 			f.cond[target].Wake(w.env)
+			w.wakeAsync(target)
 		}
 		return old
 	}

@@ -69,7 +69,10 @@ func newCoarrayOn[T any](w *World, name string, n int, members []int) *Coarray[T
 	if n <= 0 {
 		panic(fmt.Sprintf("pgas: coarray %q with %d elements", name, n))
 	}
-	return w.lookupOrCreate("coarray:"+name, func() interface{} {
+	// The registry key includes the element type: two coarrays that share a
+	// name but differ in T are distinct allocations, not a type-assertion
+	// crash on second use.
+	return w.lookupOrCreate("coarray:"+TypeName[T]()+":"+name, func() interface{} {
 		c := &Coarray[T]{w: w, name: name, n: n, elemSize: sizeOf[T]()}
 		c.data = make([][]T, w.NumImages())
 		if members == nil {
@@ -203,5 +206,6 @@ func PutThenNotify[T any](im *Image, c *Coarray[T], target, off int, src []T, f 
 	im.deliverAt(deliverFlag, func() {
 		f.data[target][idx] += delta
 		f.cond[target].Wake(im.w.env)
+		im.w.wakeAsync(target)
 	})
 }

@@ -26,7 +26,8 @@ type Flags struct {
 // NewFlags allocates a flags array with slots slots per image. Like a
 // coarray allocation this is logically collective; in the simulator the
 // first image to reach it creates the shared object (World.lookupOrCreate
-// makes this deterministic).
+// makes this deterministic). Flags are always int64, so unlike coarrays the
+// name alone keys the allocation (no element-type component).
 func NewFlags(w *World, name string, slots int) *Flags {
 	if slots <= 0 {
 		panic(fmt.Sprintf("pgas: flags %q with %d slots", name, slots))
@@ -61,12 +62,17 @@ func (im *Image) NotifyAdd(f *Flags, target, idx int, delta int64, via Via) {
 	im.deliverAt(deliver, func() {
 		f.data[target][idx] += delta
 		f.cond[target].Wake(im.w.env)
+		im.w.wakeAsync(target)
 	})
 }
 
-// NotifySet stores val into flag idx on image target (one-sided,
-// non-blocking). Useful for episode stamps where the value encodes the
-// episode number.
+// NotifySet raises flag idx on image target to val if it is below val
+// (one-sided, non-blocking, monotonic max — NOT a plain store). The max
+// semantics are load-bearing for episode stamps: stamps from consecutive
+// episodes may be delivered out of order, and a late stamp from an earlier
+// episode must never roll the flag back below the current one, or a waiter
+// keyed on "flag >= episode" would re-block or miss its wake-up. Use
+// SetLocal for an unconditional local store.
 func (im *Image) NotifySet(f *Flags, target, idx int, val int64, via Via) {
 	deliver, inter := im.route(target, 8, via)
 	im.w.stats.Message(trace.OpNotify, !inter && target != im.rank, target == im.rank, 8)
@@ -75,6 +81,7 @@ func (im *Image) NotifySet(f *Flags, target, idx int, val int64, via Via) {
 			f.data[target][idx] = val
 		}
 		f.cond[target].Wake(im.w.env)
+		im.w.wakeAsync(target)
 	})
 }
 
@@ -83,6 +90,7 @@ func (im *Image) NotifySet(f *Flags, target, idx int, val int64, via Via) {
 func (im *Image) SetLocal(f *Flags, idx int, val int64) {
 	f.data[im.rank][idx] = val
 	f.cond[im.rank].Wake(im.w.env)
+	im.w.wakeAsync(im.rank)
 }
 
 // WaitFlagGE blocks this image until flag idx on image owner is >= min.

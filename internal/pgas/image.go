@@ -26,6 +26,12 @@ type Image struct {
 	// "syncimages" flags array; both only grow, giving the "carry"
 	// property (no flag resets).
 	syncSent []int64
+
+	// pendingOps are the in-flight split-phase operations driven by this
+	// image's progress engine (see progress.go); asyncCond is woken by
+	// every flag delivery landing on this image.
+	pendingOps []*AsyncOp
+	asyncCond  sim.Cond
 }
 
 // Rank returns the image's 0-based global rank. (Coarray Fortran numbers
@@ -48,10 +54,14 @@ func (im *Image) Now() sim.Time { return im.proc.Now() }
 // SameNode reports whether the target image shares this image's node.
 func (im *Image) SameNode(target int) bool { return im.w.topo.SameNode(im.rank, target) }
 
-// Compute charges flops worth of dense compute time to this image.
+// Compute charges flops worth of dense compute time to this image. While
+// split-phase operations are in flight the compute time is interleaved with
+// progress-engine polls, so collectives advance behind the computation —
+// the overlap the non-blocking API exists for. With nothing in flight it is
+// a single sleep.
 func (im *Image) Compute(flops float64) {
 	im.w.stats.Count(trace.OpCompute)
-	im.proc.Sleep(im.w.model.ComputeTime(flops))
+	im.computeSleep(im.w.model.ComputeTime(flops))
 }
 
 // MemWork charges local memory traffic (packing, reduction combining) of n

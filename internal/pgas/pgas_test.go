@@ -468,6 +468,71 @@ func TestNotifySetMonotone(t *testing.T) {
 	})
 }
 
+// TestNotifySetOutOfOrderDelivery pins the monotonic-max semantics under
+// genuinely reordered delivery: a fast shared-memory stamp for episode 2
+// overtakes a slow conduit stamp for episode 1 issued earlier, and the late
+// episode-1 arrival must not roll the flag back.
+func TestNotifySetOutOfOrderDelivery(t *testing.T) {
+	w := newTestWorld(t, 2, 2) // images 0,1 on node 0; images 2,3 on node 1
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "ooo", 1)
+		switch im.Rank() {
+		case 2:
+			// Issued first, but pays conduit latency (~3 us): episode 1.
+			im.NotifySet(fl, 0, 0, 1, ViaConduit)
+		case 1:
+			// Issued later, delivered first over shared memory: episode 2.
+			im.Sleep(500 * sim.Nanosecond)
+			im.NotifySet(fl, 0, 0, 2, ViaShm)
+		case 0:
+			im.WaitFlagGE(fl, 0, 0, 2)
+			if got := fl.Peek(0, 0); got != 2 {
+				t.Errorf("flag = %d after fast stamp, want 2", got)
+			}
+			im.Sleep(20 * sim.Microsecond) // let the stale episode-1 stamp land
+			if got := fl.Peek(0, 0); got != 2 {
+				t.Errorf("flag = %d after late stamp, want 2 (set is monotone max)", got)
+			}
+		}
+	})
+}
+
+// TestCoarrayKeyedByElementType: two coarrays sharing a name but differing
+// in element type must be distinct allocations (this used to be a type
+// assertion panic on the second NewCoarray).
+func TestCoarrayKeyedByElementType(t *testing.T) {
+	w := newTestWorld(t, 1, 2)
+	w.Run(func(im *Image) {
+		cf := NewCoarray[float64](w, "dual", 4)
+		ci := NewCoarray[int64](w, "dual", 4)
+		Local(cf, im)[0] = 2.5
+		Local(ci, im)[0] = 7
+		im.Sleep(0)
+		if got := Local(cf, im)[0]; got != 2.5 {
+			t.Errorf("float64 slab = %v, want 2.5 (aliased with int64 coarray?)", got)
+		}
+		if got := Local(ci, im)[0]; got != 7 {
+			t.Errorf("int64 slab = %v, want 7", got)
+		}
+		// Same name, same type: still one shared allocation.
+		if cf2 := NewCoarray[float64](w, "dual", 4); cf2 != cf {
+			t.Error("same-(name,type) coarrays must be the same object")
+		}
+	})
+}
+
+func TestTeamCoarrayKeyedByElementType(t *testing.T) {
+	w := newTestWorld(t, 1, 2)
+	w.Run(func(im *Image) {
+		members := []int{0, 1}
+		cf := NewTeamCoarray[float64](w, "tdual", 2, members)
+		ci := NewTeamCoarray[int32](w, "tdual", 2, members)
+		if !cf.OwnedBy(im.Rank()) || !ci.OwnedBy(im.Rank()) {
+			t.Error("member does not own its team coarray slab")
+		}
+	})
+}
+
 // Property: random put/get traffic always round-trips values exactly.
 func TestPutGetRoundTripProperty(t *testing.T) {
 	f := func(seed int64) bool {

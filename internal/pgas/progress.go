@@ -1,0 +1,167 @@
+package pgas
+
+import (
+	"cafteams/internal/sim"
+)
+
+// This file implements the per-image progress engine behind split-phase
+// (non-blocking) collectives: an image initiates an operation, gets back an
+// AsyncOp handle, and the operation's state machine is advanced — without
+// ever blocking the image — whenever the image gives the runtime a chance to
+// make progress:
+//
+//   - AsyncOp.Wait drives the engine until the handle's operation completes;
+//   - Image.Compute interleaves progress polls with the compute time, the
+//     overlap the split-phase API exists for;
+//   - Image.Progress polls explicitly (the CAF-style "advance the runtime"
+//     call for code that spins on its own condition).
+//
+// The engine itself is deliberately dumb: it round-robins Step over every
+// in-flight operation. All protocol knowledge (rounds, parity regions, flow
+// control) lives in the Progressible implementations (internal/core).
+
+// Progressible is one split-phase operation driven by an image's progress
+// engine. Implementations are state machines over the same flag/put
+// primitives the blocking collectives use.
+type Progressible interface {
+	// Step advances the operation as far as currently possible and reports
+	// whether it has completed. Step must never wait on a flag; it may
+	// charge local CPU time (injection overhead, combining, packing), which
+	// models the progress engine running on the image's core.
+	Step() bool
+	// Blocked returns the flag condition Step needs before it can advance
+	// again: slot idx of the calling image's own row of f reaching at least
+	// min. Only meaningful after Step has returned false.
+	Blocked() (f *Flags, idx int, min int64)
+}
+
+// AsyncOp is the handle for one in-flight split-phase operation. The image
+// that started the operation — and only that image — completes it with Wait
+// (or observes it with Test/Done).
+type AsyncOp struct {
+	im   *Image
+	op   Progressible
+	done bool
+}
+
+// Done reports whether the operation has completed. It does not progress
+// the engine; see Test.
+func (h *AsyncOp) Done() bool { return h.done }
+
+// Test polls the progress engine once and reports whether the operation has
+// completed — the non-blocking probe (MPI_Test / CAF "query").
+func (h *AsyncOp) Test() bool {
+	if !h.done {
+		h.im.Progress()
+	}
+	return h.done
+}
+
+// Wait drives the progress engine until this operation completes, blocking
+// the image between polls on the flag conditions the in-flight operations
+// report. Waiting also progresses every other in-flight operation of the
+// image (their steps may be prerequisites for remote images' progress).
+func (h *AsyncOp) Wait() {
+	im := h.im
+	for !h.done {
+		im.Progress()
+		if h.done {
+			break
+		}
+		im.awaitAsyncActivity()
+	}
+}
+
+// StartOp runs op's initiate phase and, if it did not complete immediately,
+// registers it with this image's progress engine. The caller must complete
+// the returned handle with Wait (or poll Test to completion) before the
+// image finishes.
+func (im *Image) StartOp(op Progressible) *AsyncOp {
+	h := &AsyncOp{im: im, op: op}
+	if op.Step() {
+		h.done = true
+		return h
+	}
+	im.pendingOps = append(im.pendingOps, h)
+	return h
+}
+
+// CompletedOp returns an already-completed handle — the degenerate result
+// for operations that finish at initiation (or for blocking fallbacks).
+func (im *Image) CompletedOp() *AsyncOp {
+	return &AsyncOp{im: im, done: true}
+}
+
+// Progress steps every in-flight split-phase operation of this image once
+// and returns the number still in flight. It never blocks.
+func (im *Image) Progress() int {
+	if len(im.pendingOps) == 0 {
+		return 0
+	}
+	kept := im.pendingOps[:0]
+	for _, h := range im.pendingOps {
+		if !h.done && !h.op.Step() {
+			kept = append(kept, h)
+			continue
+		}
+		h.done = true
+	}
+	for i := len(kept); i < len(im.pendingOps); i++ {
+		im.pendingOps[i] = nil
+	}
+	im.pendingOps = kept
+	return len(kept)
+}
+
+// Pending returns the number of in-flight split-phase operations.
+func (im *Image) Pending() int { return len(im.pendingOps) }
+
+// awaitAsyncActivity blocks the image until some in-flight operation's
+// blocked condition is satisfied. The asyncCond is woken by every flag
+// delivery landing on this image's row (see wakeAsync callers), so the wait
+// cannot miss an arrival regardless of which flags array it lands in.
+func (im *Image) awaitAsyncActivity() {
+	ready := func() bool {
+		for _, h := range im.pendingOps {
+			if h.done {
+				return true
+			}
+			f, idx, min := h.op.Blocked()
+			if f.Peek(im.rank, idx) >= min {
+				return true
+			}
+		}
+		return false
+	}
+	im.asyncCond.Wait(im.proc, "async progress", ready)
+}
+
+// wakeAsync wakes rank's progress engine after a flag delivery. Called from
+// scheduler context by every flag-mutating delivery path.
+func (w *World) wakeAsync(rank int) {
+	w.images[rank].asyncCond.Wake(w.env)
+}
+
+// progressQuantum is how often Image.Compute polls the progress engine while
+// split-phase operations are in flight: roughly one network latency, small
+// enough that a collective round is picked up promptly, large enough that
+// polling stays a few percent of compute time.
+const progressQuantum = 2 * sim.Microsecond
+
+// computeSleep advances local compute time, interleaving progress polls
+// while split-phase operations are in flight. With nothing pending it is a
+// single plain sleep (identical timing to the pre-async runtime).
+func (im *Image) computeSleep(d sim.Time) {
+	for d > 0 && len(im.pendingOps) > 0 {
+		q := progressQuantum
+		if q > d {
+			q = d
+		}
+		im.proc.Sleep(q)
+		d -= q
+		im.Progress()
+	}
+	if d > 0 {
+		im.proc.Sleep(d)
+	}
+}

@@ -182,13 +182,17 @@ func (d *DeadlockError) Error() string {
 // is reached. It returns a *DeadlockError if the queue drains while spawned
 // processes are still blocked. A panic inside a process is re-raised on the
 // caller's goroutine.
+//
+// Stopping at the limit is lossless: the first event past the limit stays
+// queued (the queue is peeked before popping), so a subsequent Run resumes
+// exactly where the previous one stopped.
 func (e *Env) Run(limit Time) error {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if limit > 0 && ev.at > limit {
+		if limit > 0 && e.queue[0].at > limit {
 			e.now = limit
 			return nil
 		}
+		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.at
 		ev.fn()
 		if e.hasPanic {

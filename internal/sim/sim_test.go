@@ -145,6 +145,60 @@ func TestRunLimitStopsEarly(t *testing.T) {
 	}
 }
 
+// TestRunLimitResumesLosslessly pins the peek-before-pop behavior of Run: an
+// event past the limit must stay queued, so running to a limit and then to
+// completion executes every event exactly once (the event popped at the
+// limit used to be dropped).
+func TestRunLimitResumesLosslessly(t *testing.T) {
+	e := NewEnv()
+	var order []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		e.Schedule(at, func() { order = append(order, at) })
+	}
+	if err := e.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 || order[0] != 10 {
+		t.Fatalf("after Run(15): ran %v, want [10]", order)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("clock = %d, want 15", e.Now())
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[1] != 20 || order[2] != 30 {
+		t.Fatalf("after resume: ran %v, want [10 20 30]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+// TestRunLimitKeepsProcessesRunnable checks the limit interacts with
+// processes: a sleeping process cut off by the limit resumes on the next Run.
+func TestRunLimitKeepsProcessesRunnable(t *testing.T) {
+	e := NewEnv()
+	done := false
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		done = true
+	})
+	if err := e.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("process finished before its wake-up event")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("process lost its wake-up event across a limited Run")
+	}
+}
+
 func TestDeadlockDetected(t *testing.T) {
 	e := NewEnv()
 	var c Cond

@@ -1,0 +1,151 @@
+// Acceptance tests for the split-phase collective subsystem at the
+// application level: miniature versions of the heat2d and CG kernels, run
+// blocking and overlapped, must produce identical results with the
+// overlapped simulated time strictly below the blocking baseline.
+package main
+
+import (
+	"math"
+	"testing"
+
+	"cafteams/caf"
+)
+
+// heat2dKernel is examples/heat2d reduced to its communication skeleton:
+// halo puts, barriers, a stencil sweep's compute, and a per-sweep residual
+// co_max that the overlapped mode completes one sweep late.
+func heat2dKernel(t *testing.T, spec string, overlap bool) (elapsed int64, residual float64) {
+	t.Helper()
+	const w, h, sweeps = 64, 16, 60
+	var res float64
+	rep, err := caf.Run(caf.Config{Spec: spec}, func(im *caf.Image) {
+		me, n := im.ThisImage(), im.NumImages()
+		cur := im.NewCoarray("cur", (h+2)*w)
+		curL := cur.Local(im)
+		for r := 0; r < h+2; r++ {
+			curL[r*w] = 100
+		}
+		im.SyncAll()
+		maxDiff := []float64{0}
+		var pending *caf.Handle
+		for s := 0; s < sweeps; s++ {
+			if me > 1 {
+				cur.Put(im, me-1, (h+1)*w, curL[w:2*w])
+			}
+			if me < n {
+				cur.Put(im, me+1, 0, curL[h*w:(h+1)*w])
+			}
+			im.SyncMemory()
+			im.SyncAll()
+			diff := 1.0 / float64(s+1) // stand-in for the sweep's residual
+			im.Compute(float64(4 * h * (w - 2)))
+			if pending != nil {
+				pending.Wait()
+				pending = nil
+			}
+			maxDiff[0] = diff
+			if overlap {
+				pending = im.CoMaxAsync(maxDiff)
+			} else {
+				im.CoMax(maxDiff)
+			}
+			im.SyncAll()
+		}
+		if pending != nil {
+			pending.Wait()
+		}
+		if me == 1 {
+			res = maxDiff[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Elapsed, res
+}
+
+// cgKernel is examples/cg's iteration skeleton: halo exchange, Ap compute,
+// a blocking pap reduction, then the r·r reduction overlapped with the
+// x-vector update.
+func cgKernel(t *testing.T, spec string, overlap bool) (elapsed int64, norm float64) {
+	t.Helper()
+	const nElems, iters = 1024, 40
+	var out float64
+	rep, err := caf.Run(caf.Config{Spec: spec}, func(im *caf.Image) {
+		r := make([]float64, nElems)
+		x := make([]float64, nElems)
+		for i := range r {
+			r[i] = 1
+		}
+		rr := float64(nElems * im.NumImages())
+		im.SyncAll()
+		for it := 0; it < iters; it++ {
+			im.Compute(6 * nElems) // Ap
+			pap := []float64{rr / float64(im.NumImages())}
+			im.Compute(2 * nElems)
+			im.CoSum(pap)
+			alpha := rr / pap[0]
+			rrLocal := 0.0
+			for i := range r {
+				r[i] -= alpha * r[i] * 1e-3
+				rrLocal += r[i] * r[i]
+			}
+			im.Compute(4 * nElems)
+			v := []float64{rrLocal}
+			var pending *caf.Handle
+			if overlap {
+				pending = im.CoSumAsync(v)
+			}
+			for i := range x {
+				x[i] += alpha * r[i]
+			}
+			im.Compute(2 * nElems)
+			if overlap {
+				pending.Wait()
+			} else {
+				im.CoSum(v)
+			}
+			rr = v[0]
+			im.SyncAll()
+		}
+		if im.ThisImage() == 1 {
+			out = math.Sqrt(rr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Elapsed, out
+}
+
+// TestOverlappedHeat2DBeatsBlocking: the overlapped residual check must be
+// strictly faster and numerically identical.
+func TestOverlappedHeat2DBeatsBlocking(t *testing.T) {
+	for _, spec := range []string{"16(2)", "64(8)"} {
+		bT, bRes := heat2dKernel(t, spec, false)
+		oT, oRes := heat2dKernel(t, spec, true)
+		if oRes != bRes {
+			t.Fatalf("%s: overlapped residual %v != blocking %v", spec, oRes, bRes)
+		}
+		if oT >= bT {
+			t.Fatalf("%s: overlapped heat2d %d ns >= blocking %d ns", spec, oT, bT)
+		}
+		t.Logf("%s: blocking %d ns, overlapped %d ns (%.2fx)", spec, bT, oT, float64(bT)/float64(oT))
+	}
+}
+
+// TestOverlappedCGBeatsBlocking: the overlapped dot product must be
+// strictly faster and numerically identical.
+func TestOverlappedCGBeatsBlocking(t *testing.T) {
+	for _, spec := range []string{"16(2)", "64(8)"} {
+		bT, bNorm := cgKernel(t, spec, false)
+		oT, oNorm := cgKernel(t, spec, true)
+		if math.Float64bits(oNorm) != math.Float64bits(bNorm) {
+			t.Fatalf("%s: overlapped norm %v != blocking %v", spec, oNorm, bNorm)
+		}
+		if oT >= bT {
+			t.Fatalf("%s: overlapped cg %d ns >= blocking %d ns", spec, oT, bT)
+		}
+		t.Logf("%s: blocking %d ns, overlapped %d ns (%.2fx)", spec, bT, oT, float64(bT)/float64(oT))
+	}
+}
