@@ -5,8 +5,10 @@
 // A program is an SPMD body executed by every image (1-based, as in
 // Fortran). Images synchronize with SyncAll/SyncImages, communicate through
 // coarrays (one-sided Put/Get), form teams (FormTeam/ChangeTeam), and use
-// the collective intrinsics CoSum/CoMax/CoMin/CoBroadcast (see CoSumT and
-// friends for element types other than float64). All collective operations
+// the collective intrinsics CoSum/CoMax/CoMin/CoBroadcast plus the
+// rooted, personalized and prefix collectives CoScatter/CoGather/
+// CoAlltoall/CoScan (see CoSumT and friends for element types other than
+// float64). All collective operations
 // dispatch through a named-algorithm registry: by default the hierarchy
 // level picks — the paper's two-level methodology wherever placement is
 // dense, the flat one-level baseline otherwise, or the three-level
@@ -245,6 +247,35 @@ func (im *Image) CoBroadcast(a []float64, sourceImage int) {
 // NumImages()*len(mine) elements.
 func (im *Image) CoAllgather(mine, out []float64) {
 	CoAllgatherT(im, mine, out)
+}
+
+// CoScatter distributes per-image blocks from sourceImage (1-based, current
+// team): every image receives its len(recv)-element block of the source's
+// send vector (significant only at the source, NumImages()*len(recv)
+// elements there). CoScatterT is the generic form.
+func (im *Image) CoScatter(send, recv []float64, sourceImage int) {
+	CoScatterT(im, send, recv, sourceImage)
+}
+
+// CoGather collects every image's send block into recv on resultImage
+// (1-based, current team) only, ordered by team rank. CoGatherT is the
+// generic form.
+func (im *Image) CoGather(send, recv []float64, resultImage int) {
+	CoGatherT(im, send, recv, resultImage)
+}
+
+// CoAlltoall performs the personalized all-to-all exchange over the current
+// team: send block j goes to image j+1, recv block i arrives from image
+// i+1. CoAlltoallT is the generic form.
+func (im *Image) CoAlltoall(send, recv []float64) {
+	CoAlltoallT(im, send, recv)
+}
+
+// CoScan computes the element-wise prefix sum over image order in place:
+// inclusive (a becomes the sum over images [1, me]) or exclusive (over
+// [1, me); image 1's a is left unchanged). CoScanT is the generic form.
+func (im *Image) CoScan(a []float64, exclusive bool) {
+	CoScanT(im, a, exclusive)
 }
 
 // Team is a formed team handle (the team_type value).

@@ -21,7 +21,8 @@ import (
 type Numeric = coll.Number
 
 // Kind names a collective operation class for algorithm selection: one of
-// KindBarrier, KindAllreduce, KindReduceTo, KindBroadcast, KindAllgather.
+// KindBarrier, KindAllreduce, KindReduceTo, KindBroadcast, KindAllgather,
+// KindScatter, KindGather, KindAlltoall, KindScan.
 type Kind = core.Kind
 
 // The collective kinds, for Config.WithAlgorithm and Algorithms.
@@ -31,6 +32,10 @@ const (
 	KindReduceTo  = core.KindReduceTo
 	KindBroadcast = core.KindBroadcast
 	KindAllgather = core.KindAllgather
+	KindScatter   = core.KindScatter
+	KindGather    = core.KindGather
+	KindAlltoall  = core.KindAlltoall
+	KindScan      = core.KindScan
 )
 
 // Tuning selects, per collective kind, the algorithm the runtime uses, by
@@ -90,6 +95,46 @@ func CoBroadcastT[T any](im *Image, a []T, sourceImage int) {
 // NumImages()*len(mine) elements.
 func CoAllgatherT[T any](im *Image, mine, out []T) {
 	core.PolicyAllgather(im.pol, im.view(), mine, out)
+}
+
+// CoScatterT distributes per-image blocks from sourceImage (1-based, current
+// team): every image receives its len(recv)-element block of the source's
+// send vector, which is significant only at the source and must hold
+// NumImages()*len(recv) elements there (the MPI_Scatter pattern).
+func CoScatterT[T any](im *Image, send, recv []T, sourceImage int) {
+	core.PolicyScatter(im.pol, im.view(), sourceImage-1, send, recv)
+}
+
+// CoGatherT collects every image's send block into recv on resultImage
+// (1-based, current team) only, ordered by team rank; recv is significant
+// only at the result image and must hold NumImages()*len(send) elements
+// there (the MPI_Gather pattern).
+func CoGatherT[T any](im *Image, send, recv []T, resultImage int) {
+	core.PolicyGather(im.pol, im.view(), resultImage-1, send, recv)
+}
+
+// CoAlltoallT performs the personalized all-to-all exchange over the current
+// team: send block j goes to image j+1, recv block i arrives from image i+1.
+// Both vectors hold NumImages() equal blocks (the MPI_Alltoall pattern
+// behind distributed transposes and FFT exchanges).
+func CoAlltoallT[T any](im *Image, send, recv []T) {
+	core.PolicyAlltoall(im.pol, im.view(), send, recv)
+}
+
+// CoScanT computes the element-wise prefix sum over image order (1..this
+// image) in place: inclusive (a becomes the sum over images [1, me]) or
+// exclusive (over [1, me); image 1's a is left unchanged) — the
+// MPI_Scan/MPI_Exscan pair.
+func CoScanT[T Numeric](im *Image, a []T, exclusive bool) {
+	core.PolicyScan(im.pol, im.view(), a, coll.SumOp[T](), exclusive)
+}
+
+// CoScanReduceT is CoScanT with a caller-supplied associative, commutative
+// operation (like CoReduceT, the runtime may combine partial vectors in any
+// order). name keys the runtime's internal state; use one name per distinct
+// operation.
+func CoScanReduceT[T any](im *Image, a []T, name string, combine func(dst, src []T), exclusive bool) {
+	core.PolicyScan(im.pol, im.view(), a, coll.Op[T]{Name: name, Combine: combine}, exclusive)
 }
 
 // CoarrayT is a symmetric shared array of T allocated across a team at

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDescribeDensePlacement: the default-style dense placement report
+// names every node, every team, and the intranode sets with their leaders.
+func TestDescribeDensePlacement(t *testing.T) {
+	var sb strings.Builder
+	if err := describe(&sb, "16(2)", 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"topology:",
+		"node  0:",
+		"node  1:",
+		"team number 1:",
+		"team number 2:",
+		"intranode set on node",
+		"leader = team rank 0",
+		"socket 0:",
+		"socket 1:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDescribeFlatPlacement: one image per node degenerates every intranode
+// set to a singleton with itself as leader.
+func TestDescribeFlatPlacement(t *testing.T) {
+	var sb strings.Builder
+	if err := describe(&sb, "4(4)", 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "intranode set on node"); got != 4 {
+		t.Errorf("flat placement lists %d intranode sets, want 4:\n%s", got, out)
+	}
+}
+
+// TestDescribeRejectsBadInput: malformed specs and team counts surface as
+// errors, not panics.
+func TestDescribeRejectsBadInput(t *testing.T) {
+	var sb strings.Builder
+	if err := describe(&sb, "not-a-spec", 2); err == nil {
+		t.Error("malformed spec accepted")
+	}
+	if err := describe(&sb, "8(2)", 0); err == nil {
+		t.Error("zero teams accepted")
+	}
+}

@@ -11,11 +11,13 @@
 //	teamsbench -alg all [-algspecs 64(8),352(44)] [-elems N] [-iters N] [-csv]
 //	teamsbench -alg allreduce [-algspecs ...]        # every allreduce algorithm
 //	teamsbench -alg allreduce/ring,bcast/2level      # specific algorithms
+//	teamsbench -alg alltoall,scan                    # the personalized/prefix kinds
 //
 // The -alg family sweeps the pluggable algorithm registry: every named
 // algorithm of every collective kind (barrier, allreduce, reduceto, bcast,
-// allgather) is runnable by its registry name, the same name accepted by
-// caf.Config.WithAlgorithm.
+// allgather, scatter, gather, alltoall, scan) is runnable by its registry
+// name, the same name accepted by caf.Config.WithAlgorithm. For the rooted
+// and personalized kinds -elems is the per-image block size.
 package main
 
 import (

@@ -154,17 +154,24 @@ func Comparators(c Collective) []Comparator {
 
 // RegistryComparator builds a comparator that drives one named algorithm
 // from core's pluggable registry (kind "barrier", "allreduce", "reduceto",
-// "bcast" or "allgather") over the GASNet-RDMA conduit. The comparator name
-// is the registry's "kind/name" form, so sweep output lines up with the
-// names accepted by caf.Config.WithAlgorithm and teamsbench -alg.
+// "bcast", "allgather", "scatter", "gather", "alltoall" or "scan") over the
+// GASNet-RDMA conduit. The comparator name is the registry's "kind/name"
+// form, so sweep output lines up with the names accepted by
+// caf.Config.WithAlgorithm and teamsbench -alg. For the rooted and
+// personalized kinds the benchmark vector is the per-image block, so cells
+// stay comparable across kinds at one -elems setting.
 func RegistryComparator(k core.Kind, name string) Comparator {
 	return Comparator{
 		Name:    k.String() + "/" + name,
 		Conduit: machine.ConduitGASNetRDMA,
 		Run: func(v *team.View, buf []float64, iters int) {
-			var out []float64
-			if k == core.KindAllgather {
-				out = make([]float64, v.NumImages()*len(buf))
+			var wide, wide2 []float64
+			switch k {
+			case core.KindAllgather, core.KindScatter, core.KindGather:
+				wide = make([]float64, v.NumImages()*len(buf))
+			case core.KindAlltoall:
+				wide = make([]float64, v.NumImages()*len(buf))
+				wide2 = make([]float64, v.NumImages()*len(buf))
 			}
 			for i := 0; i < iters; i++ {
 				switch k {
@@ -177,7 +184,15 @@ func RegistryComparator(k core.Kind, name string) Comparator {
 				case core.KindBroadcast:
 					core.RunBroadcast(name, v, 0, buf)
 				case core.KindAllgather:
-					core.RunAllgather(name, v, buf, out)
+					core.RunAllgather(name, v, buf, wide)
+				case core.KindScatter:
+					core.RunScatter(name, v, 0, wide, buf)
+				case core.KindGather:
+					core.RunGather(name, v, 0, buf, wide)
+				case core.KindAlltoall:
+					core.RunAlltoall(name, v, wide, wide2)
+				case core.KindScan:
+					core.RunScan(name, v, buf, coll.Sum, false)
 				}
 			}
 		},

@@ -1,0 +1,159 @@
+package coll
+
+import (
+	"fmt"
+
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// a2aBlock validates the alltoall buffer lengths and returns the per-pair
+// block size: send and recv both hold NumImages() blocks of n elements,
+// send block j destined to team rank j, recv block i arriving from team
+// rank i.
+func a2aBlock[T any](v *team.View, send, recv []T) int {
+	sz := v.NumImages()
+	if len(send)%sz != 0 {
+		panic(fmt.Sprintf("coll: alltoall send %d not a multiple of team size %d", len(send), sz))
+	}
+	n := len(send) / sz
+	if len(recv) < sz*n {
+		panic(fmt.Sprintf("coll: alltoall recv %d < %d", len(recv), sz*n))
+	}
+	return n
+}
+
+// AlltoallPairwise is the pairwise-exchange personalized all-to-all: n−1
+// steps, in step s each member sends its block for rank (r+s) and receives
+// the block from rank (r−s) — every pair exchanges exactly once, the
+// bandwidth-optimal large-message schedule (the pattern behind
+// MPI_Alltoall's long-message path and distributed transposes).
+//
+// Each step owns a parity-indexed landing region. Cross-episode safety
+// needs no explicit credits: before a writer starts episode e+2 of step s
+// it completed episode e+1, whose step (size−s) waited on a message this
+// image only sends after fully completing episode e — by which point the
+// region being overwritten was consumed.
+func AlltoallPairwise[T any](v *team.View, send, recv []T, via pgas.Via) {
+	sz := v.NumImages()
+	n := a2aBlock(v, send, recv)
+	es := pgas.ElemSize[T]()
+	v.Img.World().Stats().Count(trace.OpReduce)
+	copy(recv[v.Rank*n:v.Rank*n+n], send[v.Rank*n:v.Rank*n+n])
+	if sz == 1 {
+		return
+	}
+	v.Img.MemWork(es * n)
+	steps := sz - 1
+	st := getState(v, "a2a.pw."+via.String()+"."+tag[T](), steps)
+	ep := st.next(v.Rank)
+	co, cap_ := scratch[T](v, "a2a.pw", n, 2*steps)
+	parity := int(ep % 2)
+	region := func(s int) int { return (parity*steps + s) * cap_ }
+	me := v.Img
+	r := v.Rank
+	for s := 1; s <= steps; s++ {
+		dst := (r + s) % sz
+		src := (r - s + sz) % sz
+		reg := region(s - 1)
+		pgas.PutThenNotify(me, co, v.T.GlobalRank(dst), reg, send[dst*n:dst*n+n], st.flags, s-1, 1, via)
+		me.WaitFlagGE(st.flags, me.Rank(), s-1, ep)
+		copy(recv[src*n:src*n+n], pgas.Local(co, me)[reg:reg+n])
+		me.MemWork(es * n)
+	}
+}
+
+// AlltoallBruck is the log-step personalized all-to-all (Bruck's
+// algorithm): a local rotation brings block j of the send vector to tmp
+// position (j−rank), then ceil(log2 n) rounds in which every member ships
+// all tmp blocks whose index has bit k set to the member 2^k above it, and
+// a final rotation restores source order. Each block travels popcount
+// hops, but only log n messages leave each member — latency-optimal for
+// small blocks, the counterpart of the pairwise exchange's bandwidth
+// optimality.
+//
+// Unlike the pairwise exchange, the hop graph gives a slow member no
+// transitive backpressure on the images writing its landing regions, so
+// every step carries an explicit parity credit: the receiver acks after
+// unpacking and a sender gates its next same-parity step-k pack on the
+// previous ack.
+//
+// Flag layout: slots [0, rounds) step arrivals; slot rounds+2·k+parity the
+// step-k credit.
+func AlltoallBruck[T any](v *team.View, send, recv []T, via pgas.Via) {
+	sz := v.NumImages()
+	n := a2aBlock(v, send, recv)
+	es := pgas.ElemSize[T]()
+	v.Img.World().Stats().Count(trace.OpReduce)
+	if sz == 1 {
+		copy(recv, send[:n])
+		return
+	}
+	nr := rounds(sz)
+	// cnt[k] = number of blocks exchanged in round k; regions are laid out
+	// back to back per parity, sized exactly.
+	cnt := make([]int, nr)
+	off := make([]int, nr)
+	total := 0
+	for k := 0; k < nr; k++ {
+		off[k] = total
+		for j := 1; j < sz; j++ {
+			if j>>k&1 == 1 {
+				cnt[k]++
+			}
+		}
+		total += cnt[k]
+	}
+	st := getState(v, "a2a.bruck."+via.String()+"."+tag[T](), 3*nr)
+	ep := st.next(v.Rank)
+	co, cap_ := scratch[T](v, "a2a.bruck", n, 2*total)
+	parity := int(ep % 2)
+	region := func(k int) int { return (parity*total + off[k]) * cap_ }
+	me := v.Img
+	r := v.Rank
+
+	// Phase 1: local rotation — tmp block j is my block for rank (r+j).
+	tmp := make([]T, sz*n)
+	for j := 0; j < sz; j++ {
+		b := (r + j) % sz
+		copy(tmp[j*n:(j+1)*n], send[b*n:b*n+n])
+	}
+	me.MemWork(es * sz * n)
+	// Phase 2: doubling rounds.
+	for k := 0; k < nr; k++ {
+		dst := (r + 1<<k) % sz
+		src := (r - 1<<k + sz) % sz
+		ackSlot := nr + 2*k + parity
+		pack := make([]T, 0, cnt[k]*n)
+		for j := 1; j < sz; j++ {
+			if j>>k&1 == 1 {
+				pack = append(pack, tmp[j*n:(j+1)*n]...)
+			}
+		}
+		me.MemWork(es * len(pack))
+		st.slotExpect[v.Rank][ackSlot]++
+		if sends := st.slotExpect[v.Rank][ackSlot]; sends > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), ackSlot, sends-1)
+		}
+		pgas.PutThenNotify(me, co, v.T.GlobalRank(dst), region(k), pack, st.flags, k, 1, via)
+		me.WaitFlagGE(st.flags, me.Rank(), k, ep)
+		local := pgas.Local(co, me)
+		i := 0
+		for j := 1; j < sz; j++ {
+			if j>>k&1 == 1 {
+				copy(tmp[j*n:(j+1)*n], local[region(k)+i*n:region(k)+(i+1)*n])
+				i++
+			}
+		}
+		me.MemWork(es * i * n)
+		me.NotifyAdd(st.flags, v.T.GlobalRank(src), ackSlot, 1, via)
+	}
+	// Phase 3: final rotation — tmp position j carries the block from
+	// source (r−j).
+	for j := 0; j < sz; j++ {
+		b := (r - j + sz) % sz
+		copy(recv[b*n:b*n+n], tmp[j*n:(j+1)*n])
+	}
+	me.MemWork(es * sz * n)
+}

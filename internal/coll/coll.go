@@ -2,9 +2,11 @@
 // algorithms the paper uses as baselines — centralized linear, dissemination,
 // binomial tree and tournament barriers; linear, binomial-tree,
 // recursive-doubling and ring all-to-all reductions; linear, binomial and
-// scatter-allgather broadcasts — plus the plumbing (per-team flag arrays,
-// episode counters, scratch coarrays) shared with the hierarchy-aware
-// algorithms in internal/core.
+// scatter-allgather broadcasts; linear and binomial scatters and gathers;
+// pairwise-exchange and Bruck personalized all-to-alls; linear and
+// distance-doubling prefix reductions — plus the plumbing (per-team flag
+// arrays, episode counters, scratch coarrays) shared with the
+// hierarchy-aware algorithms in internal/core.
 //
 // Flat algorithms address every peer uniformly through the portable conduit
 // path (pgas.ViaConduit), exactly like a runtime with no knowledge of which

@@ -1,0 +1,156 @@
+package coll
+
+import (
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// scanTag keys the per-form state: inclusive and exclusive scans of the
+// same op are distinct collectives and must not share episodes or regions.
+func scanTag(exclusive bool) string {
+	if exclusive {
+		return "excl"
+	}
+	return "incl"
+}
+
+// ScanLinear is the chain prefix reduction (MPI_Scan/MPI_Exscan semantics
+// over team rank order): member r receives the prefix over ranks [0, r)
+// from its predecessor, combines its own vector, and forwards the inclusive
+// prefix to rank r+1. Linear depth, one message per chain edge — the
+// centralized counterpart of the log-depth ScanRD.
+//
+// Inclusive: buf ends as the reduction over ranks [0, r]. Exclusive: buf
+// ends as the reduction over [0, r) — rank 0's buf is left unchanged.
+//
+// The chain has no downstream-to-upstream data flow, so region reuse is
+// credit-gated: a member acks its predecessor after consuming and a sender
+// may not ship a same-parity prefix before the previous one was acked.
+//
+// Flag layout: slot 0 arrivals, slots 2-3 parity credits.
+func ScanLinear[T any](v *team.View, buf []T, op Op[T], exclusive bool, via pgas.Via) {
+	sz := v.NumImages()
+	n := len(buf)
+	es := pgas.ElemSize[T]()
+	v.Img.World().Stats().Count(trace.OpReduce)
+	if sz == 1 {
+		return
+	}
+	alg := "scan.lin." + op.Name + "." + scanTag(exclusive) + "." + via.String() + "." + tag[T]()
+	st := getState(v, alg, 4)
+	ep := st.next(v.Rank)
+	co, cap_ := scratch[T](v, "scan.lin."+op.Name+"."+scanTag(exclusive), n, 2)
+	parity := int(ep % 2)
+	reg := parity * cap_
+	creditSlot := 2 + parity
+	me := v.Img
+	r := v.Rank
+	var fwd []T // the inclusive prefix over [0, r], shipped to r+1
+	if r == 0 {
+		fwd = buf
+	} else {
+		me.WaitFlagGE(st.flags, me.Rank(), 0, ep)
+		in := pgas.Local(co, me)[reg : reg+n] // prefix over [0, r)
+		if exclusive {
+			if r < sz-1 {
+				fwd = make([]T, n)
+				copy(fwd, in)
+				op.Combine(fwd, buf)
+				me.MemWork(3 * es * n)
+			}
+			copy(buf, in)
+			me.MemWork(es * n)
+		} else {
+			op.Combine(buf, in)
+			me.MemWork(2 * es * n)
+			fwd = buf
+		}
+	}
+	if r < sz-1 {
+		// Gate on the credit for my previous same-parity send.
+		st.slotExpect[v.Rank][creditSlot]++
+		if sends := st.slotExpect[v.Rank][creditSlot]; sends > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), creditSlot, sends-1)
+		}
+		pgas.PutThenNotify(me, co, v.T.GlobalRank(r+1), reg, fwd, st.flags, 0, 1, via)
+	}
+	if r > 0 {
+		me.NotifyAdd(st.flags, v.T.GlobalRank(r-1), creditSlot, 1, via)
+	}
+}
+
+// ScanRD is the distance-doubling (Hillis-Steele) prefix reduction:
+// ceil(log2 n) rounds, in round k member r ships its running partial to
+// r+2^k and folds in the partial arriving from r−2^k, so after the last
+// round every member holds the inclusive prefix over [0, r]. The exclusive
+// form appends one shift step: each member forwards its inclusive prefix to
+// its successor, which adopts it (rank 0's buf is left unchanged).
+//
+// Low ranks wait on few or no arrivals (rank 0 on none), so nothing
+// implicit stops a fast sender from racing episodes ahead; every round and
+// the shift carry the standard parity credit (receiver acks after folding,
+// sender gates its next same-parity send on the previous ack).
+//
+// Flag layout: slots [0, rounds) round arrivals; slot rounds+2·k+parity the
+// round-k credit; slot 3·rounds the shift arrival; slots 3·rounds+1/+2 the
+// shift credits.
+func ScanRD[T any](v *team.View, buf []T, op Op[T], exclusive bool, via pgas.Via) {
+	sz := v.NumImages()
+	n := len(buf)
+	es := pgas.ElemSize[T]()
+	v.Img.World().Stats().Count(trace.OpReduce)
+	if sz == 1 {
+		return
+	}
+	nr := rounds(sz)
+	alg := "scan.rd." + op.Name + "." + scanTag(exclusive) + "." + via.String() + "." + tag[T]()
+	st := getState(v, alg, 3*nr+3)
+	ep := st.next(v.Rank)
+	regions := nr + 1 // one per round plus the shift
+	co, cap_ := scratch[T](v, "scan.rd."+op.Name+"."+scanTag(exclusive), n, 2*regions)
+	parity := int(ep % 2)
+	region := func(k int) int { return (parity*regions + k) * cap_ }
+	me := v.Img
+	r := v.Rank
+	acc := make([]T, n) // running partial over [max(0, r−2^k+1), r]
+	copy(acc, buf)
+	me.MemWork(es * n)
+	for k := 0; 1<<k < sz; k++ {
+		ackSlot := nr + 2*k + parity
+		if r+1<<k < sz {
+			st.slotExpect[v.Rank][ackSlot]++
+			if sends := st.slotExpect[v.Rank][ackSlot]; sends > 1 {
+				me.WaitFlagGE(st.flags, me.Rank(), ackSlot, sends-1)
+			}
+			pgas.PutThenNotify(me, co, v.T.GlobalRank(r+1<<k), region(k), acc, st.flags, k, 1, via)
+		}
+		if r-1<<k >= 0 {
+			me.WaitFlagGE(st.flags, me.Rank(), k, ep)
+			op.Combine(acc, pgas.Local(co, me)[region(k):region(k)+n])
+			me.MemWork(2 * es * n)
+			me.NotifyAdd(st.flags, v.T.GlobalRank(r-1<<k), ackSlot, 1, via)
+		}
+	}
+	if !exclusive {
+		copy(buf, acc)
+		me.MemWork(es * n)
+		return
+	}
+	// Shift the inclusive prefixes down by one rank.
+	shiftSlot := 3 * nr
+	shiftAck := 3*nr + 1 + parity
+	if r+1 < sz {
+		st.slotExpect[v.Rank][shiftAck]++
+		if sends := st.slotExpect[v.Rank][shiftAck]; sends > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), shiftAck, sends-1)
+		}
+		pgas.PutThenNotify(me, co, v.T.GlobalRank(r+1), region(nr), acc, st.flags, shiftSlot, 1, via)
+	}
+	if r > 0 {
+		me.WaitFlagGE(st.flags, me.Rank(), shiftSlot, ep)
+		copy(buf, pgas.Local(co, me)[region(nr):region(nr)+n])
+		me.MemWork(es * n)
+		me.NotifyAdd(st.flags, v.T.GlobalRank(r-1), shiftAck, 1, via)
+	}
+}

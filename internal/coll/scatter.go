@@ -1,0 +1,157 @@
+package coll
+
+import (
+	"fmt"
+
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// ScatterLinear distributes per-member blocks from team rank root directly:
+// the root puts block r of send (send[r*n:(r+1)*n], n = len(recv)) to member
+// r — the centralized scheme, 2(n−1) serialized messages from one image.
+// send is significant only at the root and must hold NumImages()*len(recv)
+// elements there.
+//
+// Flow control mirrors BcastLinear: parity-indexed landing regions, parity
+// ack slots converging at the episode root, a done-stamp wave, and an
+// injection gate at done >= e−2 (roots vary between episodes, so completion
+// must be published to every potential root).
+//
+// Flag layout: slots 0-1 parity payload arrivals, slots 2-3 parity acks,
+// slot 4 done stamps.
+func ScatterLinear[T any](v *team.View, root int, send, recv []T, via pgas.Via) {
+	sz := v.NumImages()
+	n := len(recv)
+	es := pgas.ElemSize[T]()
+	v.Img.World().Stats().Count(trace.OpBroadcast)
+	if v.Rank == root {
+		if len(send) < sz*n {
+			panic(fmt.Sprintf("coll: scatter send %d < %d", len(send), sz*n))
+		}
+		copy(recv, send[root*n:root*n+n])
+		v.Img.MemWork(es * n)
+	}
+	if sz == 1 {
+		return
+	}
+	st := getState(v, "sc.lin."+via.String()+"."+tag[T](), 5)
+	ep := st.next(v.Rank)
+	co, cap_ := scratch[T](v, "sc.lin", n, 2)
+	parity := int(ep % 2)
+	reg := parity * cap_
+	paySlot := parity
+	ackSlot := 2 + parity
+	me := v.Img
+	if v.Rank == root {
+		me.WaitFlagGE(st.flags, me.Rank(), 4, ep-2)
+		for r := 0; r < sz; r++ {
+			if r == root {
+				continue
+			}
+			pgas.PutThenNotify(me, co, v.T.GlobalRank(r), reg, send[r*n:r*n+n], st.flags, paySlot, 1, via)
+		}
+		st.ackExpect[parity][v.Rank] += int64(sz - 1)
+		me.WaitFlagGE(st.flags, me.Rank(), ackSlot, st.ackExpect[parity][v.Rank])
+		me.SetLocal(st.flags, 4, ep)
+		for r := 0; r < sz; r++ {
+			if r != root {
+				me.NotifySet(st.flags, v.T.GlobalRank(r), 4, ep, via)
+			}
+		}
+		return
+	}
+	st.payExpect[parity][v.Rank]++
+	me.WaitFlagGE(st.flags, me.Rank(), paySlot, st.payExpect[parity][v.Rank])
+	copy(recv, pgas.Local(co, me)[reg:reg+n])
+	me.MemWork(es * n)
+	me.NotifyAdd(st.flags, v.T.GlobalRank(root), ackSlot, 1, via)
+}
+
+// ScatterBinomial distributes per-member blocks along the binomial scatter
+// tree (the scatter half of the van de Geijn broadcast): each internal node
+// of the "low bits free" tree over relative ranks receives the packed
+// blocks of its whole subtree [rel, rel+lowbit(rel)) and forwards the upper
+// half at every level — ceil(log2 n) depth, each block crossing the wire
+// once per tree level it descends.
+//
+// Flow control is the SubgroupBcastBinomial credit scheme: parity payload
+// and ack slots, an ack wave climbing back to the episode root, a done
+// stamp, and a root injection gate at done >= e−2.
+func ScatterBinomial[T any](v *team.View, root int, send, recv []T, via pgas.Via) {
+	sz := v.NumImages()
+	n := len(recv)
+	es := pgas.ElemSize[T]()
+	v.Img.World().Stats().Count(trace.OpBroadcast)
+	if v.Rank == root {
+		if len(send) < sz*n {
+			panic(fmt.Sprintf("coll: scatter send %d < %d", len(send), sz*n))
+		}
+		copy(recv, send[root*n:root*n+n])
+		v.Img.MemWork(es * n)
+	}
+	if sz == 1 {
+		return
+	}
+	st := getState(v, "sc.binom."+via.String()+"."+tag[T](), 5)
+	ep := st.next(v.Rank)
+	// Landing region: the caller's whole relative subtree, packed
+	// n-contiguous in relative-rank order, per parity.
+	co, cap_ := scratch[T](v, "sc.binom", sz*n, 2)
+	parity := int(ep % 2)
+	base := parity * cap_
+	paySlot := parity
+	ackSlot := 2 + parity
+	me := v.Img
+	rel := (v.Rank - root + sz) % sz
+	global := func(relIdx int) int { return v.T.GlobalRank((relIdx + root) % sz) }
+
+	// tree holds the packed blocks for relative ranks [rel, rel+span).
+	var tree []T
+	if rel == 0 {
+		me.WaitFlagGE(st.flags, me.Rank(), 4, ep-2)
+		tree = make([]T, sz*n)
+		for q := 0; q < sz; q++ {
+			b := (q + root) % sz
+			copy(tree[q*n:(q+1)*n], send[b*n:b*n+n])
+		}
+		me.MemWork(es * sz * n)
+	} else {
+		st.payExpect[parity][v.Rank]++
+		me.WaitFlagGE(st.flags, me.Rank(), paySlot, st.payExpect[parity][v.Rank])
+		span := rel & -rel // subtree size in the low-bits-free tree
+		if rel+span > sz {
+			span = sz - rel
+		}
+		tree = pgas.Local(co, me)[base : base+span*n]
+		copy(recv, tree[:n])
+		me.MemWork(es * n)
+	}
+	// Forward subtree halves, deepest child first.
+	nkids := 0
+	for k := rounds(sz) - 1; k >= 0; k-- {
+		if rel%(1<<(k+1)) == 0 && rel+1<<k < sz {
+			child := rel + 1<<k
+			last := child + 1<<k
+			if last > sz {
+				last = sz
+			}
+			pgas.PutThenNotify(me, co, global(child), base, tree[(child-rel)*n:(last-rel)*n], st.flags, paySlot, 1, via)
+			nkids++
+		}
+	}
+	st.ackExpect[parity][v.Rank] += int64(nkids)
+	if nkids > 0 {
+		me.WaitFlagGE(st.flags, me.Rank(), ackSlot, st.ackExpect[parity][v.Rank])
+	}
+	if rel != 0 {
+		parent := rel - (rel & -rel)
+		me.NotifyAdd(st.flags, global(parent), ackSlot, 1, via)
+		return
+	}
+	me.SetLocal(st.flags, 4, ep)
+	for q := 1; q < sz; q++ {
+		me.NotifySet(st.flags, global(q), 4, ep, via)
+	}
+}

@@ -53,10 +53,7 @@ func AllgatherTwoLevel[T any](v *team.View, mine, out []T) {
 	// fan-out and the leaders' ring blocks, addressed by team rank), plus
 	// per-ring-step regions sized to the largest node block.
 	maxGroup := maxNodeGroup(v)
-	cap_ := 16
-	for cap_ < n {
-		cap_ <<= 1
-	}
+	cap_ := sizeClass(n)
 	full := cap_ * sz
 	stepRegion := cap_ * maxGroup
 	name := fmt.Sprintf("core:%s:team%d:cap%d", alg, t.ID(), cap_)

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// Flag slots of the two-level alltoall: parity send-vector arrivals at a
+// leader (from its intranode set), parity node-pair pack arrivals at a
+// leader (from peer leaders), parity assembled-vector arrivals at a member,
+// parity inbox credits (leader→member), parity pack credits (leader→leader),
+// and parity outbox acks (member→leader).
+const (
+	a2aInboxSlot   = 0 // +parity
+	a2aPackSlot    = 2
+	a2aOutboxSlot  = 4
+	a2aInboxCredit = 6
+	a2aPackCredit  = 8
+	a2aOutboxAck   = 10
+	a2aSlots       = 12
+)
+
+// AlltoallTwoLevel is the hierarchy-aware personalized all-to-all exchange:
+// each member hands its whole send vector to its node leader over shared
+// memory, the leaders exchange one *node-pair pack* per pair of nodes over
+// the network — |g|·|h| blocks aggregated into a single message, the
+// leader-staged counterpart of the pairwise exchange's |g|·|h| separate
+// wires — and each leader assembles and delivers every member's receive
+// vector over shared memory. send block j goes to team rank j; recv block i
+// arrives from team rank i; both hold NumImages() blocks.
+//
+// All roles are fixed by team structure, so flow control is pure
+// sender-counted parity credits: every landing region has a single writer
+// that gates its k-th same-parity write on k−1 credits from the consumers.
+func AlltoallTwoLevel[T any](v *team.View, send, recv []T) {
+	t := v.T
+	sz := t.Size()
+	if len(send)%sz != 0 {
+		panic(fmt.Sprintf("core: alltoall send %d not a multiple of team size %d", len(send), sz))
+	}
+	n := len(send) / sz
+	if len(recv) < sz*n {
+		panic(fmt.Sprintf("core: alltoall recv %d < %d", len(recv), sz*n))
+	}
+	es := pgas.ElemSize[T]()
+	v.Img.World().Stats().Count(trace.OpReduce)
+	if sz == 1 {
+		copy(recv, send[:n])
+		return
+	}
+	alg := "a2a2." + pgas.TypeName[T]()
+	st := getHierState(v, alg, a2aSlots)
+	st.ep[v.Rank]++
+	ep := st.ep[v.Rank]
+	parity := int(ep % 2)
+	mg := maxNodeGroup(v)
+	leaders := t.Leaders()
+	ng := len(leaders)
+	// Per-parity layout (in cap-sized block units): the leader's inbox (one
+	// full send vector per group position), one node-pair pack landing area
+	// per source group, and the member's outbox (one full recv vector).
+	co, cap_ := hierScratch[T](v, alg, n, mg*sz+ng*mg*mg+sz)
+	perPar := (mg*sz + ng*mg*mg + sz) * cap_
+	base := parity * perPar
+	inboxAt := func(pos int) int { return base + pos*sz*cap_ }
+	landAt := func(gi int) int { return base + mg*sz*cap_ + gi*mg*mg*cap_ }
+	outboxOff := base + (mg*sz+ng*mg*mg)*cap_
+	me := v.Img
+	leader := t.LeaderOf(v.Rank)
+	gi := t.GroupOf(v.Rank)
+	group := t.NodeGroup(gi)
+	gsz := len(group)
+
+	if v.Rank != leader {
+		// Ship my send vector to the leader's inbox, gated on the credit
+		// for my previous same-parity shipment; then collect my assembled
+		// receive vector and ack it.
+		st.slotExpect[v.Rank][a2aInboxCredit+parity]++
+		if sends := st.slotExpect[v.Rank][a2aInboxCredit+parity]; sends > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), a2aInboxCredit+parity, sends-1)
+		}
+		pos := groupPos(group, v.Rank)
+		pgas.PutThenNotify(me, co, t.GlobalRank(leader), inboxAt(pos), send[:sz*n], st.flags, a2aInboxSlot+parity, 1, pgas.ViaShm)
+		st.slotExpect[v.Rank][a2aOutboxSlot+parity]++
+		me.WaitFlagGE(st.flags, me.Rank(), a2aOutboxSlot+parity, st.slotExpect[v.Rank][a2aOutboxSlot+parity])
+		copy(recv, pgas.Local(co, me)[outboxOff:outboxOff+sz*n])
+		me.MemWork(es * sz * n)
+		me.NotifyAdd(st.flags, t.GlobalRank(leader), a2aOutboxAck+parity, 1, pgas.ViaShm)
+		return
+	}
+
+	// Leader: collect the intranode set's send vectors.
+	if gsz > 1 {
+		st.slotExpect[v.Rank][a2aInboxSlot+parity] += int64(gsz - 1)
+		me.WaitFlagGE(st.flags, me.Rank(), a2aInboxSlot+parity, st.slotExpect[v.Rank][a2aInboxSlot+parity])
+	}
+	local := pgas.Local(co, me)
+	// vec(i) is group position i's full send vector.
+	vec := func(i int) []T {
+		if group[i] == v.Rank {
+			return send
+		}
+		return local[inboxAt(i) : inboxAt(i)+sz*n]
+	}
+	// Exchange node-pair packs with every peer leader: the pack for group h
+	// holds, for each of my members (group order), its blocks for each of
+	// h's members (group order). Gate this episode's packs on the credits
+	// for every previous same-parity pack.
+	if ng > 1 {
+		if prev := st.slotExpect[v.Rank][a2aPackCredit+parity]; prev > 0 {
+			me.WaitFlagGE(st.flags, me.Rank(), a2aPackCredit+parity, prev)
+		}
+		st.slotExpect[v.Rank][a2aPackCredit+parity] += int64(ng - 1)
+		for hi, lh := range leaders {
+			if hi == gi {
+				continue
+			}
+			hgrp := t.NodeGroup(hi)
+			pack := make([]T, 0, gsz*len(hgrp)*n)
+			for i := range group {
+				sv := vec(i)
+				for _, d := range hgrp {
+					pack = append(pack, sv[d*n:d*n+n]...)
+				}
+			}
+			me.MemWork(es * len(pack))
+			pgas.PutThenNotify(me, co, t.GlobalRank(lh), landAt(gi), pack, st.flags, a2aPackSlot+parity, 1, pgas.ViaAuto)
+		}
+		st.slotExpect[v.Rank][a2aPackSlot+parity] += int64(ng - 1)
+		me.WaitFlagGE(st.flags, me.Rank(), a2aPackSlot+parity, st.slotExpect[v.Rank][a2aPackSlot+parity])
+	}
+	// Assemble every member's receive vector, gated on the acks for the
+	// previous same-parity fan-out.
+	if gate := st.ackExpect[parity][v.Rank]; gate > 0 {
+		me.WaitFlagGE(st.flags, me.Rank(), a2aOutboxAck+parity, gate)
+	}
+	out := make([]T, sz*n)
+	targets := 0
+	for j, m := range group {
+		for s := 0; s < sz; s++ {
+			hi := t.GroupOf(s)
+			var block []T
+			if hi == gi {
+				sv := vec(groupPos(group, s))
+				block = sv[m*n : m*n+n]
+			} else {
+				i := groupPos(t.NodeGroup(hi), s)
+				off := landAt(hi) + (i*gsz+j)*n
+				block = local[off : off+n]
+			}
+			copy(out[s*n:s*n+n], block)
+		}
+		me.MemWork(es * sz * n)
+		if m == v.Rank {
+			copy(recv, out)
+			continue
+		}
+		pgas.PutThenNotify(me, co, t.GlobalRank(m), outboxOff, out, st.flags, a2aOutboxSlot+parity, 1, pgas.ViaShm)
+		targets++
+	}
+	st.ackExpect[parity][v.Rank] += int64(targets)
+	// Everything staged here is consumed: credit my members' inbox slots and
+	// the peer leaders' pack landings.
+	for _, m := range group {
+		if m != v.Rank {
+			me.NotifyAdd(st.flags, t.GlobalRank(m), a2aInboxCredit+parity, 1, pgas.ViaShm)
+		}
+	}
+	for hi, lh := range leaders {
+		if hi != gi {
+			me.NotifyAdd(st.flags, t.GlobalRank(lh), a2aPackCredit+parity, 1, pgas.ViaAuto)
+		}
+	}
+}

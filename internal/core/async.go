@@ -81,10 +81,7 @@ func getNBState(v *team.View, alg string, slots int) *nbState {
 // least elems elements each, allocated per size class and element type
 // (mirrors coll's scratch helper).
 func nbScratch[T any](v *team.View, alg string, elems, regions int) (*pgas.Coarray[T], int) {
-	cap_ := 16
-	for cap_ < elems {
-		cap_ <<= 1
-	}
+	cap_ := sizeClass(elems)
 	name := fmt.Sprintf("core:nb:%s:%s:team%d:cap%d", alg, pgas.TypeName[T](), v.T.ID(), cap_)
 	members := make([]int, v.T.Size())
 	copy(members, v.T.Members())

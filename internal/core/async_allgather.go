@@ -154,10 +154,7 @@ func newNBAg2[T any](v *team.View, mine, out []T) *nbAg2[T] {
 	key := "ag2." + pgas.TypeName[T]()
 	steps := len(t.Leaders()) - 1
 	maxGroup := maxNodeGroup(v)
-	cap_ := 16
-	for cap_ < n {
-		cap_ <<= 1
-	}
+	cap_ := sizeClass(n)
 	m := &nbAg2[T]{
 		mine: mine, out: out, n: n, es: pgas.ElemSize[T](),
 		cap_: cap_, full: cap_ * sz, stepRegion: cap_ * maxGroup, steps: steps,

@@ -1,0 +1,264 @@
+package core
+
+// Randomized cross-algorithm conformance harness: seeded random team
+// shapes (node count, images per node, block or cyclic placement) and
+// payload sizes are swept across *every* registered algorithm of *every*
+// collective kind — including the hierarchy-aware 2level/3level forms and
+// the split-phase nb-* machines, which Run* dispatches as initiate+wait —
+// and each result is compared bitwise against a serial reference computed
+// directly from the input function. Inputs are small integers, so float64
+// reductions are exact in any association order and bitwise comparison is
+// meaningful.
+//
+// The sweep budget is CAF_CONFORMANCE_ROUNDS scenarios (default 4, 2 under
+// -short); CAF_CONFORMANCE_SEED pins the scenario stream for reproduction.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"cafteams/internal/coll"
+	"cafteams/internal/machine"
+	"cafteams/internal/pgas"
+	"cafteams/internal/sim"
+	"cafteams/internal/team"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// Five episodes: enough for every parity class of landing regions to be
+// reused at least twice, which is what the credit/done-wave flow control
+// protects.
+const confEpisodes = 5
+
+type confScenario struct {
+	nodes, perNode int
+	place          topology.Placement
+	elems          int
+	seed           int64
+}
+
+func (s confScenario) String() string {
+	return fmt.Sprintf("%dx%d-%s-%delems", s.nodes, s.perNode, s.place, s.elems)
+}
+
+func (s confScenario) world(t testing.TB) *pgas.World {
+	t.Helper()
+	topo, err := topology.New(s.nodes, 2, (s.perNode+1)/2, s.nodes*s.perNode, s.place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pgas.NewWorld(sim.NewEnv(), machine.PaperCluster(), topo, trace.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func conformanceEnv(t *testing.T, name string, dflt int64) int64 {
+	if s := os.Getenv(name); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("%s=%q: %v", name, s, err)
+		}
+		return n
+	}
+	return dflt
+}
+
+// confInput is the pure per-(rank, episode, salt) input vector every serial
+// reference is recomputed from: small integers in [-100, 100].
+func confInput(seed int64, salt, rank, ep, elems int) []float64 {
+	v := make([]float64, elems)
+	for i := range v {
+		x := seed + int64(salt)*9973 + int64(rank)*31 + int64(ep)*7 + int64(i)
+		v[i] = float64(x%201 - 100)
+	}
+	return v
+}
+
+func confSum(seed int64, salt, ranks, ep, elems int) []float64 {
+	want := make([]float64, elems)
+	for r := 0; r < ranks; r++ {
+		for i, x := range confInput(seed, salt, r, ep, elems) {
+			want[i] += x
+		}
+	}
+	return want
+}
+
+func confCheck(t *testing.T, label string, got, want []float64) bool {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: len %d, want %d", label, len(got), len(want))
+		return false
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Errorf("%s: elem %d = %v, want %v", label, i, got[i], want[i])
+			return false
+		}
+	}
+	return true
+}
+
+// confRoot derives the episode's root deterministically on every image.
+func confRoot(seed int64, ep, n int) int {
+	r := int((seed + int64(ep)*13) % int64(n))
+	if r < 0 {
+		r += n
+	}
+	return r
+}
+
+// runConformanceData runs confEpisodes episodes of one (kind, algorithm)
+// pair on one scenario and verifies every image's result bitwise against
+// the serial reference.
+func runConformanceData(t *testing.T, sc confScenario, k Kind, name string, exclusive bool) {
+	w := sc.world(t)
+	n := w.NumImages()
+	elems := sc.elems
+	w.Run(func(im *pgas.Image) {
+		v := team.Initial(w, im)
+		rng := rand.New(rand.NewSource(sc.seed ^ int64(im.Rank()*2654435761)))
+		for ep := 0; ep < confEpisodes; ep++ {
+			// Random skew so no algorithm can rely on lockstep entry.
+			im.Sleep(sim.Time(rng.Intn(20000)))
+			root := confRoot(sc.seed, ep, n)
+			label := fmt.Sprintf("%s/%s/%s ep%d rank%d", sc, k, name, ep, v.Rank)
+			mine := confInput(sc.seed, 0, v.Rank, ep, elems)
+			switch k {
+			case KindAllreduce:
+				buf := append([]float64(nil), mine...)
+				RunAllreduce(name, v, buf, coll.Sum)
+				if !confCheck(t, label, buf, confSum(sc.seed, 0, n, ep, elems)) {
+					return
+				}
+			case KindReduceTo:
+				buf := append([]float64(nil), mine...)
+				RunReduceTo(name, v, root, buf, coll.Sum)
+				if v.Rank == root && !confCheck(t, label, buf, confSum(sc.seed, 0, n, ep, elems)) {
+					return
+				}
+			case KindBroadcast:
+				buf := append([]float64(nil), mine...)
+				RunBroadcast(name, v, root, buf)
+				if !confCheck(t, label, buf, confInput(sc.seed, 0, root, ep, elems)) {
+					return
+				}
+			case KindAllgather:
+				out := make([]float64, n*elems)
+				RunAllgather(name, v, mine, out)
+				for r := 0; r < n; r++ {
+					if !confCheck(t, label, out[r*elems:(r+1)*elems], confInput(sc.seed, 0, r, ep, elems)) {
+						return
+					}
+				}
+			case KindScatter:
+				// send is significant only at the root: pass nil elsewhere
+				// to prove no algorithm touches it.
+				var send []float64
+				if v.Rank == root {
+					send = make([]float64, 0, n*elems)
+					for r := 0; r < n; r++ {
+						send = append(send, confInput(sc.seed, 0, r, ep, elems)...)
+					}
+				}
+				recv := make([]float64, elems)
+				RunScatter(name, v, root, send, recv)
+				if !confCheck(t, label, recv, mine) {
+					return
+				}
+			case KindGather:
+				var recv []float64
+				if v.Rank == root {
+					recv = make([]float64, n*elems)
+				}
+				RunGather(name, v, root, mine, recv)
+				if v.Rank == root {
+					for r := 0; r < n; r++ {
+						if !confCheck(t, label, recv[r*elems:(r+1)*elems], confInput(sc.seed, 0, r, ep, elems)) {
+							return
+						}
+					}
+				}
+			case KindAlltoall:
+				send := make([]float64, 0, n*elems)
+				for d := 0; d < n; d++ {
+					// Block src→dst is salted by the destination so every
+					// pair exchanges a distinct vector.
+					send = append(send, confInput(sc.seed, 1+d, v.Rank, ep, elems)...)
+				}
+				recv := make([]float64, n*elems)
+				RunAlltoall(name, v, send, recv)
+				for s := 0; s < n; s++ {
+					if !confCheck(t, label, recv[s*elems:(s+1)*elems], confInput(sc.seed, 1+v.Rank, s, ep, elems)) {
+						return
+					}
+				}
+			case KindScan:
+				buf := append([]float64(nil), mine...)
+				RunScan(name, v, buf, coll.Sum, exclusive)
+				var want []float64
+				switch {
+				case !exclusive:
+					want = confSum(sc.seed, 0, v.Rank+1, ep, elems)
+				case v.Rank == 0:
+					want = mine // exclusive scan leaves rank 0 unchanged
+				default:
+					want = confSum(sc.seed, 0, v.Rank, ep, elems)
+				}
+				if !confCheck(t, label, buf, want) {
+					return
+				}
+			default:
+				t.Errorf("kind %v is not data-bearing", k)
+				return
+			}
+		}
+	})
+}
+
+// TestConformanceRandomized is the randomized sweep entry point.
+func TestConformanceRandomized(t *testing.T) {
+	seed := conformanceEnv(t, "CAF_CONFORMANCE_SEED", 20260729)
+	rounds := int(conformanceEnv(t, "CAF_CONFORMANCE_ROUNDS", 4))
+	if testing.Short() && os.Getenv("CAF_CONFORMANCE_ROUNDS") == "" {
+		rounds = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	elemChoices := []int{1, 2, 3, 5, 16, 33, 65}
+	for round := 0; round < rounds; round++ {
+		sc := confScenario{
+			nodes:   1 + rng.Intn(5),
+			perNode: 1 + rng.Intn(6),
+			place:   topology.Placement(rng.Intn(2)),
+			elems:   elemChoices[rng.Intn(len(elemChoices))],
+			seed:    rng.Int63(),
+		}
+		t.Run(sc.String(), func(t *testing.T) {
+			for _, k := range Kinds() {
+				for _, name := range Algorithms(k) {
+					k, name := k, name
+					t.Run(fmt.Sprintf("%s/%s", k, name), func(t *testing.T) {
+						switch {
+						case k == KindBarrier:
+							checkBarrier(t, sc.world(t), fmt.Sprintf("%s/barrier/%s", sc, name),
+								func(v *team.View) { RunBarrier(name, v) }, confEpisodes)
+						case k == KindScan:
+							for _, exclusive := range []bool{false, true} {
+								runConformanceData(t, sc, k, name, exclusive)
+							}
+						default:
+							runConformanceData(t, sc, k, name, false)
+						}
+					})
+				}
+			}
+		})
+	}
+}

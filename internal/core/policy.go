@@ -55,6 +55,10 @@ type Tuning struct {
 	ReduceTo  string
 	Broadcast string
 	Allgather string
+	Scatter   string
+	Gather    string
+	Alltoall  string
+	Scan      string
 }
 
 // For returns the tuning entry for kind k.
@@ -70,6 +74,14 @@ func (t Tuning) For(k Kind) string {
 		return t.Broadcast
 	case KindAllgather:
 		return t.Allgather
+	case KindScatter:
+		return t.Scatter
+	case KindGather:
+		return t.Gather
+	case KindAlltoall:
+		return t.Alltoall
+	case KindScan:
+		return t.Scan
 	default:
 		return ""
 	}
@@ -88,6 +100,14 @@ func (t Tuning) With(k Kind, name string) Tuning {
 		t.Broadcast = name
 	case KindAllgather:
 		t.Allgather = name
+	case KindScatter:
+		t.Scatter = name
+	case KindGather:
+		t.Gather = name
+	case KindAlltoall:
+		t.Alltoall = name
+	case KindScan:
+		t.Scan = name
 	}
 	return t
 }
@@ -96,7 +116,8 @@ func (t Tuning) With(k Kind, name string) Tuning {
 // every collective kind.
 func AllAuto() Tuning {
 	return Tuning{Barrier: AlgAuto, Allreduce: AlgAuto, ReduceTo: AlgAuto,
-		Broadcast: AlgAuto, Allgather: AlgAuto}
+		Broadcast: AlgAuto, Allgather: AlgAuto, Scatter: AlgAuto,
+		Gather: AlgAuto, Alltoall: AlgAuto, Scan: AlgAuto}
 }
 
 // Validate checks every non-empty entry against the registry.
@@ -198,6 +219,33 @@ func (p Policy) algFor(k Kind, v *team.View, elems, elemSize int) string {
 			return "bruck"
 		}
 		return "ring"
+	case KindScatter, KindGather:
+		if level == LevelTwo || level == LevelThree {
+			return "2level"
+		}
+		// Linear moves each block across the wire exactly once
+		// (bandwidth-optimal); the binomial tree forwards blocks through
+		// log levels but finishes in log steps (latency-optimal).
+		if sized && nbytes >= autoLargeBytes {
+			return "linear"
+		}
+		return "binomial"
+	case KindAlltoall:
+		if level == LevelTwo || level == LevelThree {
+			return "2level"
+		}
+		// Bruck sends log messages per member (latency-optimal for short
+		// blocks); the pairwise exchange moves each block once
+		// (bandwidth-optimal).
+		if sized && nbytes < autoLargeBytes {
+			return "bruck"
+		}
+		return "pairwise"
+	case KindScan:
+		if level == LevelTwo || level == LevelThree {
+			return "2level"
+		}
+		return "rd"
 	}
 	panic(fmt.Sprintf("core: no algorithm for kind %v", k))
 }
@@ -233,6 +281,36 @@ func PolicyBroadcast[T any](p Policy, v *team.View, root int, buf []T) {
 	RunBroadcast(p.algFor(KindBroadcast, v, len(buf), pgas.ElemSize[T]()), v, root, buf)
 }
 
+// PolicyScatter distributes per-member blocks from team rank root: each
+// member receives its len(recv)-element block of the root's send vector
+// (significant only at the root, NumImages()*len(recv) elements there).
+func PolicyScatter[T any](p Policy, v *team.View, root int, send, recv []T) {
+	RunScatter(p.algFor(KindScatter, v, len(recv), pgas.ElemSize[T]()), v, root, send, recv)
+}
+
+// PolicyGather collects every member's send block into recv on team rank
+// root only, ordered by team rank (recv significant only at the root).
+func PolicyGather[T any](p Policy, v *team.View, root int, send, recv []T) {
+	RunGather(p.algFor(KindGather, v, len(send), pgas.ElemSize[T]()), v, root, send, recv)
+}
+
+// PolicyAlltoall performs the personalized all-to-all exchange: send block j
+// goes to team rank j, recv block i arrives from team rank i.
+func PolicyAlltoall[T any](p Policy, v *team.View, send, recv []T) {
+	elems := len(send)
+	if n := v.NumImages(); n > 0 {
+		elems = len(send) / n
+	}
+	RunAlltoall(p.algFor(KindAlltoall, v, elems, pgas.ElemSize[T]()), v, send, recv)
+}
+
+// PolicyScan computes the prefix reduction over team rank order: inclusive
+// (buf becomes the reduction over ranks [0, r]) or exclusive (over [0, r);
+// rank 0's buf is left unchanged).
+func PolicyScan[T any](p Policy, v *team.View, buf []T, op coll.Op[T], exclusive bool) {
+	RunScan(p.algFor(KindScan, v, len(buf), pgas.ElemSize[T]()), v, buf, op, exclusive)
+}
+
 // Allreduce performs the team all-to-all reduction over float64 buffers.
 func (p Policy) Allreduce(v *team.View, buf []float64, op coll.Op[float64]) {
 	PolicyAllreduce(p, v, buf, op)
@@ -254,4 +332,25 @@ func (p Policy) ReduceTo(v *team.View, root int, buf []float64, op coll.Op[float
 // rank root.
 func (p Policy) Broadcast(v *team.View, root int, buf []float64) {
 	PolicyBroadcast(p, v, root, buf)
+}
+
+// Scatter distributes per-member float64 blocks from team rank root.
+func (p Policy) Scatter(v *team.View, root int, send, recv []float64) {
+	PolicyScatter(p, v, root, send, recv)
+}
+
+// Gather collects every member's float64 block at team rank root.
+func (p Policy) Gather(v *team.View, root int, send, recv []float64) {
+	PolicyGather(p, v, root, send, recv)
+}
+
+// Alltoall performs the personalized all-to-all exchange over float64
+// blocks.
+func (p Policy) Alltoall(v *team.View, send, recv []float64) {
+	PolicyAlltoall(p, v, send, recv)
+}
+
+// Scan computes the float64 prefix reduction over team rank order.
+func (p Policy) Scan(v *team.View, buf []float64, op coll.Op[float64], exclusive bool) {
+	PolicyScan(p, v, buf, op, exclusive)
 }

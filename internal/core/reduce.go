@@ -69,15 +69,7 @@ func maxNodeGroup(v *team.View) int {
 // regions for (its largest possible intranode set + result) per parity.
 func redScratch[T any](v *team.View, alg string, elems int) (*pgas.Coarray[T], int, int) {
 	regions := maxNodeGroup(v) + 1 // group slots + result slot
-	cap_ := elems
-	if cap_ < 16 {
-		cap_ = 16
-	}
-	// Round up to a power of two per size class (mirrors coll.scratch).
-	c := 16
-	for c < cap_ {
-		c <<= 1
-	}
+	c := sizeClass(elems)
 	name := fmt.Sprintf("core:%s:team%d:cap%d", alg, v.T.ID(), c)
 	members := make([]int, v.T.Size())
 	copy(members, v.T.Members())

@@ -23,6 +23,10 @@ const (
 	KindReduceTo
 	KindBroadcast
 	KindAllgather
+	KindScatter
+	KindGather
+	KindAlltoall
+	KindScan
 	numKinds
 )
 
@@ -38,6 +42,14 @@ func (k Kind) String() string {
 		return "bcast"
 	case KindAllgather:
 		return "allgather"
+	case KindScatter:
+		return "scatter"
+	case KindGather:
+		return "gather"
+	case KindAlltoall:
+		return "alltoall"
+	case KindScan:
+		return "scan"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -45,18 +57,22 @@ func (k Kind) String() string {
 
 // Kinds returns every collective kind, in display order.
 func Kinds() []Kind {
-	return []Kind{KindBarrier, KindAllreduce, KindReduceTo, KindBroadcast, KindAllgather}
+	return []Kind{KindBarrier, KindAllreduce, KindReduceTo, KindBroadcast,
+		KindAllgather, KindScatter, KindGather, KindAlltoall, KindScan}
 }
 
-// ParseKind resolves a kind display name ("barrier", "allreduce", "reduceto",
-// "bcast", "allgather") back to its Kind.
+// ParseKind resolves a kind display name ("barrier", "allreduce",
+// "reduceto", "bcast", "allgather", "scatter", "gather", "alltoall",
+// "scan") back to its Kind.
 func ParseKind(s string) (Kind, error) {
+	names := make([]string, 0, numKinds)
 	for _, k := range Kinds() {
 		if k.String() == s {
 			return k, nil
 		}
+		names = append(names, k.String())
 	}
-	return 0, fmt.Errorf("core: unknown collective kind %q (want one of barrier, allreduce, reduceto, bcast, allgather)", s)
+	return 0, fmt.Errorf("core: unknown collective kind %q (want one of %s)", s, strings.Join(names, ", "))
 }
 
 // Signatures of pluggable algorithm implementations. Barriers are
@@ -74,6 +90,21 @@ type (
 	BroadcastFn[T any] func(v *team.View, root int, buf []T)
 	// AllgatherFn concatenates every member's mine into out by team rank.
 	AllgatherFn[T any] func(v *team.View, mine, out []T)
+	// ScatterFn distributes team rank root's send (one len(recv)-element
+	// block per member, by team rank) so each member receives its block in
+	// recv; send is significant only at the root.
+	ScatterFn[T any] func(v *team.View, root int, send, recv []T)
+	// GatherFn collects every member's send block into recv on team rank
+	// root only, ordered by team rank; recv is significant only at the
+	// root.
+	GatherFn[T any] func(v *team.View, root int, send, recv []T)
+	// AlltoallFn performs the personalized all-to-all exchange: send block
+	// j goes to team rank j, recv block i arrives from team rank i.
+	AlltoallFn[T any] func(v *team.View, send, recv []T)
+	// ScanFn computes the prefix reduction over team rank order: inclusive
+	// (buf over ranks [0, r]) or exclusive (buf over [0, r), rank 0's buf
+	// unchanged).
+	ScanFn[T any] func(v *team.View, buf []T, op coll.Op[T], exclusive bool)
 )
 
 // AlgAuto selects an algorithm per call from the team shape and message
@@ -94,6 +125,10 @@ var builtins = map[Kind][]string{
 	KindReduceTo:  {"binomial", "linear", "2level"},
 	KindBroadcast: {"binomial", "linear", "scatter-allgather", "2level", "nb-binomial", "nb-2level"},
 	KindAllgather: {"ring", "bruck", "2level", "nb-ring", "nb-2level"},
+	KindScatter:   {"linear", "binomial", "2level"},
+	KindGather:    {"linear", "binomial", "2level"},
+	KindAlltoall:  {"pairwise", "bruck", "2level"},
+	KindScan:      {"linear", "rd", "2level"},
 }
 
 // custom holds user-registered algorithms: barriers keyed by name, typed
@@ -162,6 +197,26 @@ func RegisterAllgather[T any](name string, fn AllgatherFn[T]) {
 	register(KindAllgather, typedKey[T](name), name, fn)
 }
 
+// RegisterScatter adds a named scatter algorithm for element type T.
+func RegisterScatter[T any](name string, fn ScatterFn[T]) {
+	register(KindScatter, typedKey[T](name), name, fn)
+}
+
+// RegisterGather adds a named gather algorithm for element type T.
+func RegisterGather[T any](name string, fn GatherFn[T]) {
+	register(KindGather, typedKey[T](name), name, fn)
+}
+
+// RegisterAlltoall adds a named all-to-all algorithm for element type T.
+func RegisterAlltoall[T any](name string, fn AlltoallFn[T]) {
+	register(KindAlltoall, typedKey[T](name), name, fn)
+}
+
+// RegisterScan adds a named prefix-reduction algorithm for element type T.
+func RegisterScan[T any](name string, fn ScanFn[T]) {
+	register(KindScan, typedKey[T](name), name, fn)
+}
+
 // Algorithms returns every selectable algorithm name for a kind: built-ins
 // in their canonical order, then custom registrations sorted by name.
 func Algorithms(k Kind) []string {
@@ -220,6 +275,14 @@ func registerName(k Kind) string {
 		return "Broadcast"
 	case KindAllgather:
 		return "Allgather"
+	case KindScatter:
+		return "Scatter"
+	case KindGather:
+		return "Gather"
+	case KindAlltoall:
+		return "Alltoall"
+	case KindScan:
+		return "Scan"
 	default:
 		return "Barrier"
 	}
@@ -335,5 +398,82 @@ func RunAllgather[T any](name string, v *team.View, mine, out []T) {
 			return
 		}
 		panic(typedMiss[T](KindAllgather, name))
+	}
+}
+
+// RunScatter executes the named scatter algorithm from team rank root: each
+// member receives its len(recv)-element block of the root's send vector.
+func RunScatter[T any](name string, v *team.View, root int, send, recv []T) {
+	switch name {
+	case "linear":
+		coll.ScatterLinear(v, root, send, recv, pgas.ViaConduit)
+	case "binomial":
+		coll.ScatterBinomial(v, root, send, recv, pgas.ViaConduit)
+	case "2level":
+		ScatterTwoLevel(v, root, send, recv)
+	default:
+		if fn, ok := lookupCustom(KindScatter, typedKey[T](name)); ok {
+			fn.(ScatterFn[T])(v, root, send, recv)
+			return
+		}
+		panic(typedMiss[T](KindScatter, name))
+	}
+}
+
+// RunGather executes the named gather algorithm: team rank root collects
+// every member's send block into recv, ordered by team rank.
+func RunGather[T any](name string, v *team.View, root int, send, recv []T) {
+	switch name {
+	case "linear":
+		coll.GatherLinear(v, root, send, recv, pgas.ViaConduit)
+	case "binomial":
+		coll.GatherBinomial(v, root, send, recv, pgas.ViaConduit)
+	case "2level":
+		GatherTwoLevel(v, root, send, recv)
+	default:
+		if fn, ok := lookupCustom(KindGather, typedKey[T](name)); ok {
+			fn.(GatherFn[T])(v, root, send, recv)
+			return
+		}
+		panic(typedMiss[T](KindGather, name))
+	}
+}
+
+// RunAlltoall executes the named personalized all-to-all exchange: send
+// block j goes to team rank j, recv block i arrives from team rank i.
+func RunAlltoall[T any](name string, v *team.View, send, recv []T) {
+	switch name {
+	case "pairwise":
+		coll.AlltoallPairwise(v, send, recv, pgas.ViaConduit)
+	case "bruck":
+		coll.AlltoallBruck(v, send, recv, pgas.ViaConduit)
+	case "2level":
+		AlltoallTwoLevel(v, send, recv)
+	default:
+		if fn, ok := lookupCustom(KindAlltoall, typedKey[T](name)); ok {
+			fn.(AlltoallFn[T])(v, send, recv)
+			return
+		}
+		panic(typedMiss[T](KindAlltoall, name))
+	}
+}
+
+// RunScan executes the named prefix reduction over team rank order:
+// inclusive (buf becomes the reduction over ranks [0, r]) or exclusive
+// (over [0, r); rank 0's buf is left unchanged).
+func RunScan[T any](name string, v *team.View, buf []T, op coll.Op[T], exclusive bool) {
+	switch name {
+	case "linear":
+		coll.ScanLinear(v, buf, op, exclusive, pgas.ViaConduit)
+	case "rd":
+		coll.ScanRD(v, buf, op, exclusive, pgas.ViaConduit)
+	case "2level":
+		ScanTwoLevel(v, buf, op, exclusive)
+	default:
+		if fn, ok := lookupCustom(KindScan, typedKey[T](name)); ok {
+			fn.(ScanFn[T])(v, buf, op, exclusive)
+			return
+		}
+		panic(typedMiss[T](KindScan, name))
 	}
 }

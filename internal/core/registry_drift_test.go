@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKindTablesStayConsistent is the drift guard for adding collective
+// kinds: Kind.String(), Kinds(), ParseKind and the builtins table must stay
+// mutually consistent — a new kind wired into one but not the others is a
+// bug this test pins down before any simulation runs.
+func TestKindTablesStayConsistent(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != int(numKinds) {
+		t.Errorf("Kinds() lists %d kinds, const block declares %d", len(ks), int(numKinds))
+	}
+	seenKind := map[Kind]bool{}
+	seenName := map[string]bool{}
+	for _, k := range ks {
+		if k < 0 || k >= numKinds {
+			t.Errorf("Kinds() lists %d, outside [0, %d)", int(k), int(numKinds))
+		}
+		if seenKind[k] {
+			t.Errorf("Kinds() lists %v twice", k)
+		}
+		seenKind[k] = true
+
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "kind(") {
+			t.Errorf("kind %d has no display name (String() = %q)", int(k), name)
+		}
+		if seenName[name] {
+			t.Errorf("display name %q used by two kinds", name)
+		}
+		seenName[name] = true
+		got, err := ParseKind(name)
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", name, err)
+		} else if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", name, got, k)
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if !seenKind[k] {
+			t.Errorf("kind %v (%d) missing from Kinds()", k, int(k))
+		}
+	}
+	if _, err := ParseKind("no-such-kind"); err == nil {
+		t.Error("ParseKind accepted an unknown kind name")
+	}
+}
+
+// TestBuiltinsTableStaysConsistent checks the builtins algorithm table
+// against the kind list: every kind has at least one compiled-in algorithm,
+// no orphan entries, and every name is well-formed, unique within its kind,
+// listed by Algorithms and accepted by HasAlgorithm.
+func TestBuiltinsTableStaysConsistent(t *testing.T) {
+	if len(builtins) != int(numKinds) {
+		t.Errorf("builtins has %d entries, want one per kind (%d)", len(builtins), int(numKinds))
+	}
+	for _, k := range Kinds() {
+		names := builtins[k]
+		if len(names) == 0 {
+			t.Errorf("kind %v has no built-in algorithms", k)
+			continue
+		}
+		seen := map[string]bool{}
+		for _, name := range names {
+			if name == "" || name == AlgAuto || strings.ContainsAny(name, "/\x00") {
+				t.Errorf("%v built-in %q is not a valid algorithm name", k, name)
+			}
+			if seen[name] {
+				t.Errorf("%v lists built-in %q twice", k, name)
+			}
+			seen[name] = true
+			if !HasAlgorithm(k, name) {
+				t.Errorf("HasAlgorithm(%v, %q) = false for a built-in", k, name)
+			}
+		}
+		listed := Algorithms(k)
+		if len(listed) < len(names) {
+			t.Errorf("Algorithms(%v) lists %d names, fewer than the %d built-ins", k, len(listed), len(names))
+		}
+		for i, name := range names {
+			if i >= len(listed) || listed[i] != name {
+				t.Errorf("Algorithms(%v) = %v does not lead with the built-ins %v", k, listed, names)
+				break
+			}
+		}
+	}
+	for k := range builtins {
+		if k < 0 || k >= numKinds {
+			t.Errorf("builtins has an entry for invalid kind %d", int(k))
+		}
+	}
+}
+
+// TestTuningCoversEveryKind guards the Tuning struct against kind drift:
+// With must round-trip through For for every kind, so a kind missing from
+// either switch (which would silently ignore WithAlgorithm and skip
+// validation) fails here.
+func TestTuningCoversEveryKind(t *testing.T) {
+	for _, k := range Kinds() {
+		tn := Tuning{}.With(k, "drift-probe")
+		if got := tn.For(k); got != "drift-probe" {
+			t.Errorf("Tuning.With(%v)/For(%v) = %q, want the name back", k, k, got)
+		}
+		if err := tn.Validate(); err == nil {
+			t.Errorf("Tuning{%v: unknown name} passed Validate", k)
+		}
+	}
+}

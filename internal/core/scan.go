@@ -1,0 +1,226 @@
+package core
+
+import (
+	"sort"
+
+	"cafteams/internal/coll"
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// Flag slots of the two-level scan: parity vector arrivals at a leader,
+// parity chain arrivals at a leader (from the predecessor leader), parity
+// result arrivals at a member, parity inbox credits (leader→member), parity
+// chain credits (successor→predecessor leader), and parity result acks
+// (member→leader).
+const (
+	scan2InboxSlot   = 0 // +parity
+	scan2ChainSlot   = 2
+	scan2ResultSlot  = 4
+	scan2InboxCredit = 6
+	scan2ChainCredit = 8
+	scan2ResultAck   = 10
+	scan2Slots       = 12
+)
+
+// scanChainOrder returns the node-group indices ordered by each group's
+// first team rank, and whether the groups tile the team contiguously in that
+// order (every group's ranks consecutive, each group starting where the
+// previous ended). Only then does a prefix reduction decompose into
+// per-node segments plus one inter-node scan of group totals.
+func scanChainOrder(t *team.Team) ([]int, bool) {
+	order := make([]int, t.NumNodeGroups())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return t.NodeGroup(order[a])[0] < t.NodeGroup(order[b])[0]
+	})
+	next := 0
+	for _, gi := range order {
+		for _, r := range t.NodeGroup(gi) {
+			if r != next {
+				return order, false
+			}
+			next++
+		}
+	}
+	return order, true
+}
+
+// ScanTwoLevel is the hierarchy-aware prefix reduction over team rank order
+// (inclusive: buf becomes the reduction over ranks [0, r]; exclusive: over
+// [0, r), rank 0's buf left unchanged):
+//
+//	Step 1: each intranode set ships its vectors to the node leader over
+//	        shared memory; the leader computes the within-node prefixes
+//	        and the node total;
+//	Step 2: the leaders run an exclusive scan of node totals along the
+//	        rank-ordered leader chain over the network — one message per
+//	        adjacent node pair instead of a full flat schedule;
+//	Step 3: each leader folds its node-exclusive prefix into the member
+//	        prefixes and ships the results back over shared memory.
+//
+// The decomposition requires every intranode set to be contiguous in team
+// rank order (true for the default block placements the paper benchmarks);
+// on interleaved placements (e.g. cyclic) it falls back to the flat
+// recursive-doubling scan, which is placement-oblivious.
+func ScanTwoLevel[T any](v *team.View, buf []T, op coll.Op[T], exclusive bool) {
+	t := v.T
+	sz := t.Size()
+	v.Img.World().Stats().Count(trace.OpReduce)
+	if sz == 1 {
+		return
+	}
+	order, contiguous := scanChainOrder(t)
+	if !contiguous {
+		ScanFlatFallback(v, buf, op, exclusive)
+		return
+	}
+	n := len(buf)
+	es := pgas.ElemSize[T]()
+	alg := "scan2." + op.Name + "." + scan2Tag(exclusive) + "." + pgas.TypeName[T]()
+	st := getHierState(v, alg, scan2Slots)
+	st.ep[v.Rank]++
+	ep := st.ep[v.Rank]
+	parity := int(ep % 2)
+	mg := maxNodeGroup(v)
+	// Per-parity layout: the leader's inbox (one vector per group position),
+	// the chain landing region, and the member's result landing region.
+	co, cap_ := hierScratch[T](v, alg, n, mg+2)
+	perPar := (mg + 2) * cap_
+	base := parity * perPar
+	chainOff := base + mg*cap_
+	resultOff := base + (mg+1)*cap_
+	me := v.Img
+	leader := t.LeaderOf(v.Rank)
+	gi := t.GroupOf(v.Rank)
+	group := t.NodeGroup(gi)
+	gsz := len(group)
+
+	if v.Rank != leader {
+		// Contribute my vector, gated on the credit for my previous
+		// same-parity contribution; then collect my prefix and ack it.
+		st.slotExpect[v.Rank][scan2InboxCredit+parity]++
+		if sends := st.slotExpect[v.Rank][scan2InboxCredit+parity]; sends > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), scan2InboxCredit+parity, sends-1)
+		}
+		pos := groupPos(group, v.Rank)
+		pgas.PutThenNotify(me, co, t.GlobalRank(leader), base+pos*cap_, buf, st.flags, scan2InboxSlot+parity, 1, pgas.ViaShm)
+		st.slotExpect[v.Rank][scan2ResultSlot+parity]++
+		me.WaitFlagGE(st.flags, me.Rank(), scan2ResultSlot+parity, st.slotExpect[v.Rank][scan2ResultSlot+parity])
+		copy(buf, pgas.Local(co, me)[resultOff:resultOff+n])
+		me.MemWork(es * n)
+		me.NotifyAdd(st.flags, t.GlobalRank(leader), scan2ResultAck+parity, 1, pgas.ViaShm)
+		return
+	}
+
+	// Leader (= the group's lowest team rank, so under the contiguity
+	// requirement the team's rank 0 is always a leader).
+	if gsz > 1 {
+		st.slotExpect[v.Rank][scan2InboxSlot+parity] += int64(gsz - 1)
+		me.WaitFlagGE(st.flags, me.Rank(), scan2InboxSlot+parity, st.slotExpect[v.Rank][scan2InboxSlot+parity])
+	}
+	local := pgas.Local(co, me)
+	// Within-node inclusive prefixes, in group (= team rank) order.
+	incl := make([]T, gsz*n)
+	acc := make([]T, n)
+	copy(acc, buf)
+	copy(incl[:n], acc)
+	me.MemWork(2 * es * n)
+	for j := 1; j < gsz; j++ {
+		off := base + j*cap_
+		op.Combine(acc, local[off:off+n])
+		copy(incl[j*n:(j+1)*n], acc)
+		me.MemWork(3 * es * n)
+	}
+	// The inbox is consumed: credit the contributors.
+	for _, r := range group {
+		if r != v.Rank {
+			me.NotifyAdd(st.flags, t.GlobalRank(r), scan2InboxCredit+parity, 1, pgas.ViaShm)
+		}
+	}
+	// Exclusive scan of node totals along the rank-ordered leader chain.
+	chainPos := 0
+	for i, g := range order {
+		if g == gi {
+			chainPos = i
+		}
+	}
+	var ex []T // reduction over every preceding node's total; nil at the head
+	if chainPos > 0 {
+		st.slotExpect[v.Rank][scan2ChainSlot+parity]++
+		me.WaitFlagGE(st.flags, me.Rank(), scan2ChainSlot+parity, st.slotExpect[v.Rank][scan2ChainSlot+parity])
+		ex = make([]T, n)
+		copy(ex, local[chainOff:chainOff+n])
+		me.MemWork(es * n)
+		me.NotifyAdd(st.flags, t.GlobalRank(t.Leaders()[order[chainPos-1]]), scan2ChainCredit+parity, 1, pgas.ViaAuto)
+	}
+	if chainPos < len(order)-1 {
+		fwd := acc // node total, already the running prefix over my groups
+		if ex != nil {
+			fwd = make([]T, n)
+			copy(fwd, ex)
+			op.Combine(fwd, acc)
+			me.MemWork(3 * es * n)
+		}
+		// Gate on the successor's credit for my previous same-parity send.
+		st.slotExpect[v.Rank][scan2ChainCredit+parity]++
+		if sends := st.slotExpect[v.Rank][scan2ChainCredit+parity]; sends > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), scan2ChainCredit+parity, sends-1)
+		}
+		next := t.Leaders()[order[chainPos+1]]
+		pgas.PutThenNotify(me, co, t.GlobalRank(next), chainOff, fwd, st.flags, scan2ChainSlot+parity, 1, pgas.ViaAuto)
+	}
+	// Fold the node-exclusive prefix into each member's result and deliver,
+	// gated on the acks for the previous same-parity fan-out.
+	if gate := st.ackExpect[parity][v.Rank]; gate > 0 {
+		me.WaitFlagGE(st.flags, me.Rank(), scan2ResultAck+parity, gate)
+	}
+	fold := func(withinIncl []T) []T {
+		if ex == nil {
+			return withinIncl
+		}
+		res := make([]T, n)
+		copy(res, ex)
+		op.Combine(res, withinIncl)
+		me.MemWork(3 * es * n)
+		return res
+	}
+	targets := 0
+	for j, r := range group {
+		var res []T
+		switch {
+		case !exclusive:
+			res = fold(incl[j*n : (j+1)*n])
+		case j == 0:
+			res = ex // nil at the team's rank 0: buf stays unchanged
+		default:
+			res = fold(incl[(j-1)*n : j*n])
+		}
+		if r == v.Rank {
+			if res != nil {
+				copy(buf, res)
+				me.MemWork(es * n)
+			}
+			continue
+		}
+		pgas.PutThenNotify(me, co, t.GlobalRank(r), resultOff, res, st.flags, scan2ResultSlot+parity, 1, pgas.ViaShm)
+		targets++
+	}
+	st.ackExpect[parity][v.Rank] += int64(targets)
+}
+
+// ScanFlatFallback is the placement-oblivious algorithm ScanTwoLevel
+// delegates to when the team's intranode sets are not rank-contiguous.
+func ScanFlatFallback[T any](v *team.View, buf []T, op coll.Op[T], exclusive bool) {
+	coll.ScanRD(v, buf, op, exclusive, pgas.ViaConduit)
+}
+
+func scan2Tag(exclusive bool) string {
+	if exclusive {
+		return "excl"
+	}
+	return "incl"
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/trace"
+)
+
+// hierState is the per-(team, algorithm) plumbing shared by the
+// hierarchy-aware scatter/gather/alltoall/scan collectives: a flag array,
+// per-member episode counters, exact per-slot arrival expectations (roles
+// vary with the root, so episode numbers over-count), and per-parity
+// aggregate ack expectations for leader fan-outs.
+type hierState struct {
+	flags *pgas.Flags
+	ep    []int64
+	// slotExpect[r][s] is member r's cumulative expected arrival count on
+	// flag slot s. Doubling as a send counter on credit slots: before a
+	// member's k-th same-parity send it waits for k-1 credits, which (one
+	// credit per consumed send) proves every previous landing region it
+	// wrote — on whichever image — was consumed.
+	slotExpect [][]int64
+	// ackExpect[p][r] is leader r's cumulative expected member-ack count on
+	// its parity-p ack slot (fan-out flow control: the leader may not
+	// overwrite its members' landing regions before the previous same-parity
+	// fan-out was consumed everywhere).
+	ackExpect [2][]int64
+}
+
+func getHierState(v *team.View, alg string, slots int) *hierState {
+	w := v.Img.World()
+	key := fmt.Sprintf("core:%s:team%d", alg, v.T.ID())
+	return pgas.LookupOrCreate(w, key, func() interface{} {
+		s := &hierState{
+			flags: pgas.NewFlags(w, key, slots),
+			ep:    make([]int64, v.T.Size()),
+		}
+		s.slotExpect = make([][]int64, v.T.Size())
+		for i := range s.slotExpect {
+			s.slotExpect[i] = make([]int64, slots)
+		}
+		s.ackExpect[0] = make([]int64, v.T.Size())
+		s.ackExpect[1] = make([]int64, v.T.Size())
+		return s
+	}).(*hierState)
+}
+
+// sizeClass rounds elems up to the power-of-two scratch size class (16
+// minimum, mirroring coll.bucket) — the single bucketing rule every core
+// scratch layout derives region offsets from, so blocking, split-phase and
+// hierarchy-aware layouts cannot drift apart.
+func sizeClass(elems int) int {
+	c := 16
+	for c < elems {
+		c <<= 1
+	}
+	return c
+}
+
+// hierScratch allocates a symmetric scratch slab laid out as `regions`
+// cap-sized regions per parity, cap = the size class of elems (so repeated
+// calls with varying vector lengths reuse one allocation per size class).
+func hierScratch[T any](v *team.View, alg string, elems, regions int) (*pgas.Coarray[T], int) {
+	cap_ := sizeClass(elems)
+	name := fmt.Sprintf("core:%s:%s:team%d:cap%d", alg, pgas.TypeName[T](), v.T.ID(), cap_)
+	members := make([]int, v.T.Size())
+	copy(members, v.T.Members())
+	co := pgas.NewTeamCoarray[T](v.Img.World(), name, cap_*2*regions, members)
+	return co, cap_
+}
+
+// groupPos returns rank's index within its (ascending) node group.
+func groupPos(group []int, rank int) int {
+	for i, r := range group {
+		if r == rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: rank %d not in group %v", rank, group))
+}
+
+// Flag slots of the two-level scatter: parity pack arrivals at a leader
+// (from the root), parity block arrivals at a member (from its leader),
+// parity leader acks at the root, parity member acks at a leader, and the
+// done stamp every potential future root gates injection on.
+const (
+	sc2PackSlot  = 0 // +parity
+	sc2BlockSlot = 2
+	sc2RootAck   = 4
+	sc2MemberAck = 6
+	sc2Done      = 8
+	sc2Slots     = 9
+)
+
+// ScatterTwoLevel distributes per-member blocks from team rank root with the
+// paper's two-level methodology: the root packs one *node block* per
+// intranode set (the members' blocks, contiguous in group order) and ships
+// it to that node's leader — one inter-node message per node instead of one
+// per image — and each leader fans the blocks out to its intranode set over
+// shared memory. send is significant only at the root and must hold
+// NumImages()*len(recv) elements there.
+//
+// Flow control mirrors ScatterLinear: roots vary between episodes, so a
+// done-stamp wave published by each episode's root (after every leader acked
+// consuming its pack) gates the next same-parity root's injection, member
+// landing regions are guarded by member→leader acks, and all arrival waits
+// count exactly (slotExpect) because each image's role depends on the root.
+func ScatterTwoLevel[T any](v *team.View, root int, send, recv []T) {
+	t := v.T
+	sz := t.Size()
+	n := len(recv)
+	es := pgas.ElemSize[T]()
+	v.Img.World().Stats().Count(trace.OpBroadcast)
+	if v.Rank == root {
+		if len(send) < sz*n {
+			panic(fmt.Sprintf("core: scatter send %d < %d", len(send), sz*n))
+		}
+		copy(recv, send[root*n:root*n+n])
+		v.Img.MemWork(es * n)
+	}
+	if sz == 1 {
+		return
+	}
+	alg := "sc2." + pgas.TypeName[T]()
+	st := getHierState(v, alg, sc2Slots)
+	st.ep[v.Rank]++
+	ep := st.ep[v.Rank]
+	parity := int(ep % 2)
+	maxGroup := maxNodeGroup(v)
+	// Per-parity layout: a pack landing area (maxGroup blocks, written by the
+	// episode root) then one member block landing region (written by the
+	// image's node leader).
+	co, cap_ := hierScratch[T](v, alg, n, maxGroup+1)
+	perPar := (maxGroup + 1) * cap_
+	packBase := parity * perPar
+	blockOff := packBase + maxGroup*cap_
+	me := v.Img
+	leader := t.LeaderOf(v.Rank)
+	group := t.NodeGroup(t.GroupOf(v.Rank))
+	leaders := t.Leaders()
+
+	if v.Rank == root {
+		// Injection gate: the pack regions this episode overwrites were last
+		// written two same-parity episodes ago, possibly by a different
+		// root; only the done stamp proves they were consumed.
+		me.WaitFlagGE(st.flags, me.Rank(), sc2Done, ep-2)
+		sent := 0
+		for gi, l := range leaders {
+			if l == root {
+				continue
+			}
+			grp := t.NodeGroup(gi)
+			pack := make([]T, len(grp)*n)
+			for i, r := range grp {
+				copy(pack[i*n:(i+1)*n], send[r*n:r*n+n])
+			}
+			me.MemWork(es * len(pack))
+			pgas.PutThenNotify(me, co, t.GlobalRank(l), packBase, pack, st.flags, sc2PackSlot+parity, 1, pgas.ViaAuto)
+			sent++
+		}
+		if v.Rank == leader {
+			// A root that leads its node fans out straight from send.
+			scatterFanOut(v, st, co, blockOff, parity, root, group, es, n,
+				func(i, r int) []T { return send[r*n : r*n+n] })
+		}
+		if sent > 0 {
+			st.slotExpect[v.Rank][sc2RootAck+parity] += int64(sent)
+			me.WaitFlagGE(st.flags, me.Rank(), sc2RootAck+parity, st.slotExpect[v.Rank][sc2RootAck+parity])
+		}
+		// Publish completion to every potential future root.
+		me.SetLocal(st.flags, sc2Done, ep)
+		for r := 0; r < sz; r++ {
+			if r != root {
+				me.NotifySet(st.flags, t.GlobalRank(r), sc2Done, ep, pgas.ViaAuto)
+			}
+		}
+		return
+	}
+	if v.Rank == leader {
+		// Receive the root's node block, keep my slice, fan the rest out
+		// over shared memory, then ack the root (my pack region is free the
+		// moment the fan-out puts are issued — puts capture data at issue).
+		st.slotExpect[v.Rank][sc2PackSlot+parity]++
+		me.WaitFlagGE(st.flags, me.Rank(), sc2PackSlot+parity, st.slotExpect[v.Rank][sc2PackSlot+parity])
+		local := pgas.Local(co, me)
+		pos := groupPos(group, v.Rank)
+		copy(recv, local[packBase+pos*n:packBase+pos*n+n])
+		me.MemWork(es * n)
+		scatterFanOut(v, st, co, blockOff, parity, root, group, es, n,
+			func(i, r int) []T { return local[packBase+i*n : packBase+(i+1)*n] })
+		me.NotifyAdd(st.flags, t.GlobalRank(root), sc2RootAck+parity, 1, pgas.ViaAuto)
+		return
+	}
+	// Member: exactly one block arrives, from my node leader, over shared
+	// memory; ack it so the leader may reuse my landing region.
+	st.slotExpect[v.Rank][sc2BlockSlot+parity]++
+	me.WaitFlagGE(st.flags, me.Rank(), sc2BlockSlot+parity, st.slotExpect[v.Rank][sc2BlockSlot+parity])
+	copy(recv, pgas.Local(co, me)[blockOff:blockOff+n])
+	me.MemWork(es * n)
+	me.NotifyAdd(st.flags, t.GlobalRank(leader), sc2MemberAck+parity, 1, pgas.ViaShm)
+}
+
+// scatterFanOut delivers per-member blocks to the leader's intranode set,
+// gated on the acks for the previous same-parity fan-out. block(i, r) yields
+// group position i / team rank r's block.
+func scatterFanOut[T any](v *team.View, st *hierState, co *pgas.Coarray[T], blockOff, parity, root int, group []int, es, n int, block func(i, r int) []T) {
+	me := v.Img
+	t := v.T
+	if gate := st.ackExpect[parity][v.Rank]; gate > 0 {
+		me.WaitFlagGE(st.flags, me.Rank(), sc2MemberAck+parity, gate)
+	}
+	targets := 0
+	for i, r := range group {
+		if r == v.Rank || r == root {
+			continue
+		}
+		pgas.PutThenNotify(me, co, t.GlobalRank(r), blockOff, block(i, r), st.flags, sc2BlockSlot+parity, 1, pgas.ViaShm)
+		targets++
+	}
+	st.ackExpect[parity][v.Rank] += int64(targets)
+}
+
+// Flag slots of the two-level gather: parity member-block arrivals at a
+// leader, parity node-pack arrivals at the root, parity root→leader credits,
+// parity leader→member credits.
+const (
+	ga2BlockSlot    = 0 // +parity
+	ga2PackSlot     = 2
+	ga2LeaderCredit = 4
+	ga2MemberCredit = 6
+	ga2Slots        = 8
+)
+
+// GatherTwoLevel collects every member's send block at team rank root with
+// the two-level methodology (the mirror of ScatterTwoLevel): each intranode
+// set assembles a packed *node block* at its leader over shared memory, each
+// leader ships one pack to the root over the network — one inter-node
+// message per node — and the root unpacks by team rank. recv is significant
+// only at the root and must hold NumImages()*len(send) elements there.
+//
+// Every landing region has a fixed writer (members own pack slices at their
+// leader; a leader's pack put lands in a region only its node owns at the
+// episode root), so cross-episode reuse needs no done wave: each writer
+// counts its same-parity sends and gates send k on k−1 credits — one credit
+// arrives per consumed send, so k−1 credits prove every previously written
+// region, on whichever image, was consumed.
+func GatherTwoLevel[T any](v *team.View, root int, send, recv []T) {
+	t := v.T
+	sz := t.Size()
+	n := len(send)
+	es := pgas.ElemSize[T]()
+	v.Img.World().Stats().Count(trace.OpReduce)
+	if v.Rank == root {
+		if len(recv) < sz*n {
+			panic(fmt.Sprintf("core: gather recv %d < %d", len(recv), sz*n))
+		}
+		copy(recv[root*n:root*n+n], send)
+		v.Img.MemWork(es * n)
+	}
+	if sz == 1 {
+		return
+	}
+	alg := "ga2." + pgas.TypeName[T]()
+	st := getHierState(v, alg, ga2Slots)
+	st.ep[v.Rank]++
+	ep := st.ep[v.Rank]
+	parity := int(ep % 2)
+	maxGroup := maxNodeGroup(v)
+	leaders := t.Leaders()
+	ng := len(leaders)
+	// Per-parity layout: the leader's pack assembly area (maxGroup blocks,
+	// written by its intranode set), then one pack landing region per node
+	// group (written by that group's leader, read at the episode root).
+	co, cap_ := hierScratch[T](v, alg, n, maxGroup*(1+ng))
+	perPar := maxGroup * (1 + ng) * cap_
+	packBase := parity * perPar
+	landBase := func(gi int) int { return packBase + maxGroup*cap_ + gi*maxGroup*cap_ }
+	me := v.Img
+	leader := t.LeaderOf(v.Rank)
+	group := t.NodeGroup(t.GroupOf(v.Rank))
+
+	if v.Rank != leader && v.Rank != root {
+		// Contribute my block to the leader's pack at my group position,
+		// gated on the credit for my previous same-parity contribution.
+		st.slotExpect[v.Rank][ga2MemberCredit+parity]++
+		if sends := st.slotExpect[v.Rank][ga2MemberCredit+parity]; sends > 1 {
+			me.WaitFlagGE(st.flags, me.Rank(), ga2MemberCredit+parity, sends-1)
+		}
+		pos := groupPos(group, v.Rank)
+		pgas.PutThenNotify(me, co, t.GlobalRank(leader), packBase+pos*n, send, st.flags, ga2BlockSlot+parity, 1, pgas.ViaShm)
+		return
+	}
+	local := pgas.Local(co, me)
+	if v.Rank == leader {
+		// Assemble the node pack: count exactly the contributors (the root
+		// keeps its block local, so it never contributes).
+		contribs := 0
+		for _, r := range group {
+			if r != v.Rank && r != root {
+				contribs++
+			}
+		}
+		if contribs > 0 {
+			st.slotExpect[v.Rank][ga2BlockSlot+parity] += int64(contribs)
+			me.WaitFlagGE(st.flags, me.Rank(), ga2BlockSlot+parity, st.slotExpect[v.Rank][ga2BlockSlot+parity])
+		}
+		if v.Rank != root {
+			pos := groupPos(group, v.Rank)
+			copy(local[packBase+pos*n:packBase+pos*n+n], send)
+			me.MemWork(es * n)
+			// Ship the whole pack to the root, gated on the credit for my
+			// previous same-parity pack (a root's slot in the pack is a
+			// hole the unpack skips).
+			st.slotExpect[v.Rank][ga2LeaderCredit+parity]++
+			if sends := st.slotExpect[v.Rank][ga2LeaderCredit+parity]; sends > 1 {
+				me.WaitFlagGE(st.flags, me.Rank(), ga2LeaderCredit+parity, sends-1)
+			}
+			gi := t.GroupOf(v.Rank)
+			pgas.PutThenNotify(me, co, t.GlobalRank(root), landBase(gi), local[packBase:packBase+len(group)*n], st.flags, ga2PackSlot+parity, 1, pgas.ViaAuto)
+			// The pack area is consumed the moment the put is issued.
+			for _, r := range group {
+				if r != v.Rank && r != root {
+					me.NotifyAdd(st.flags, t.GlobalRank(r), ga2MemberCredit+parity, 1, pgas.ViaShm)
+				}
+			}
+			return
+		}
+	}
+	// Root: wait for every other leader's pack, unpack by team rank, credit.
+	sendersExpected := 0
+	for _, l := range leaders {
+		if l != root {
+			sendersExpected++
+		}
+	}
+	if sendersExpected > 0 {
+		st.slotExpect[v.Rank][ga2PackSlot+parity] += int64(sendersExpected)
+		me.WaitFlagGE(st.flags, me.Rank(), ga2PackSlot+parity, st.slotExpect[v.Rank][ga2PackSlot+parity])
+	}
+	for gi, l := range leaders {
+		grp := t.NodeGroup(gi)
+		base := landBase(gi)
+		if l == root {
+			base = packBase // my own node assembled in place
+		}
+		for i, r := range grp {
+			if r == root {
+				continue
+			}
+			copy(recv[r*n:r*n+n], local[base+i*n:base+i*n+n])
+			me.MemWork(es * n)
+		}
+		if l != root {
+			me.NotifyAdd(st.flags, t.GlobalRank(l), ga2LeaderCredit+parity, 1, pgas.ViaAuto)
+		}
+	}
+	if v.Rank == leader {
+		// A root that leads its node credits its contributors itself.
+		for _, r := range group {
+			if r != v.Rank {
+				me.NotifyAdd(st.flags, t.GlobalRank(r), ga2MemberCredit+parity, 1, pgas.ViaShm)
+			}
+		}
+	}
+}

@@ -129,10 +129,7 @@ func red3Scratch[T any](v *team.View, alg string, elems int) (co *pgas.Coarray[T
 	}
 	leaderBase = maxGroup
 	regions = maxGroup + maxLead + 1
-	c := 16
-	for c < elems {
-		c <<= 1
-	}
+	c := sizeClass(elems)
 	name := fmt.Sprintf("core:%s:team%d:cap%d", alg, v.T.ID(), c)
 	members := make([]int, v.T.Size())
 	copy(members, v.T.Members())

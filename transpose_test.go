@@ -1,0 +1,86 @@
+// Acceptance test for the transpose workload (examples/transpose): on the
+// paper's dense placement the hierarchy-aware 2level alltoall must complete
+// the verified distributed transpose strictly faster than the flat pairwise
+// exchange.
+package main
+
+import (
+	"testing"
+
+	"cafteams/caf"
+)
+
+// transposeKernel is examples/transpose reduced to its measurement core:
+// iters verified b×b-tile transposes over one alltoall algorithm.
+func transposeKernel(t *testing.T, spec string, b, iters int, alg string) int64 {
+	t.Helper()
+	cfg := caf.Config{Spec: spec}.WithAlgorithm(caf.KindAlltoall, alg)
+	rep, err := caf.Run(cfg, func(im *caf.Image) {
+		p := im.NumImages()
+		m := p * b
+		cnt := []float64{float64(b)}
+		im.CoScan(cnt, true)
+		off := int(cnt[0])
+		if im.ThisImage() == 1 {
+			off = 0
+		}
+		if want := (im.ThisImage() - 1) * b; off != want {
+			t.Errorf("%s: image %d scan offset = %d, want %d", alg, im.ThisImage(), off, want)
+			return
+		}
+		send := make([]float64, p*b*b)
+		for j := 0; j < p; j++ {
+			for r := 0; r < b; r++ {
+				for c := 0; c < b; c++ {
+					send[j*b*b+r*b+c] = float64((off+r)*m + j*b + c)
+				}
+			}
+		}
+		recv := make([]float64, p*b*b)
+		for it := 0; it < iters; it++ {
+			im.CoAlltoall(send, recv)
+		}
+		for s := 0; s < p; s++ {
+			for r := 0; r < b; r++ {
+				for c := 0; c < b; c++ {
+					if got, want := recv[s*b*b+r*b+c], float64((s*b+r)*m+off+c); got != want {
+						t.Errorf("%s: image %d tile %d elem (%d,%d) = %v, want %v",
+							alg, im.ThisImage(), s, r, c, got, want)
+						return
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(rep.Elapsed)
+}
+
+// TestTransposeTwoLevelBeatsPairwise: the leader-staged alltoall must beat
+// the flat pairwise exchange on dense placements (8 images/node), where
+// aggregating each node pair's tiles into one message pays off.
+func TestTransposeTwoLevelBeatsPairwise(t *testing.T) {
+	for _, spec := range []string{"16(2)", "64(8)"} {
+		t.Run(spec, func(t *testing.T) {
+			const b, iters = 4, 5
+			flat := transposeKernel(t, spec, b, iters, "pairwise")
+			hier := transposeKernel(t, spec, b, iters, "2level")
+			if hier >= flat {
+				t.Errorf("2level transpose (%d ns) not faster than pairwise (%d ns)", hier, flat)
+			}
+			t.Logf("%s: pairwise %d ns, 2level %d ns (%.2fx)", spec, flat, hier, float64(flat)/float64(hier))
+		})
+	}
+}
+
+// TestTransposeAlgorithmsAgree: every alltoall algorithm completes the
+// verified transpose (the verification lives in the kernel body).
+func TestTransposeAlgorithmsAgree(t *testing.T) {
+	for _, alg := range []string{"pairwise", "bruck", "2level"} {
+		t.Run(alg, func(t *testing.T) {
+			transposeKernel(t, "12(3)", 3, 3, alg)
+		})
+	}
+}
