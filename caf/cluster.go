@@ -1,0 +1,57 @@
+package caf
+
+import (
+	"fmt"
+
+	"cafteams/internal/cluster"
+	"cafteams/internal/core"
+	"cafteams/internal/pgas"
+	"cafteams/internal/team"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// LaunchOn starts an SPMD job on an externally owned, possibly shared
+// cluster — the multi-job counterpart of Run. Unlike Run it does not build
+// a private simulation: the job's images are spawned into cl's environment
+// and the caller (normally a cluster.Scheduler driving cl.Env().Run)
+// advances the simulation. Jobs launched onto overlapping nodes contend on
+// the same per-node NIC, progress-engine and memory-bus resources, which is
+// the point.
+//
+// topo places the job's images on cl's physical nodes (use
+// Cluster.Topology on a scheduler placement; node ids may be gappy and
+// ranks non-contiguous). cfg.Model and cfg.Conduit are ignored — the
+// machine belongs to the cluster. onDone, if non-nil, runs in simulation
+// context after the job's last image finishes.
+//
+// LaunchOn returns after scheduling the images, with the job's stats
+// collector; the Report passed to onDone carries the final snapshot.
+func LaunchOn(cl *cluster.Cluster, topo *topology.Topology, cfg Config, label string, body func(im *Image), onDone func(Report)) (*trace.Stats, error) {
+	if err := cfg.Tuning.Validate(); err != nil {
+		return nil, fmt.Errorf("caf: %w", err)
+	}
+	level := cfg.Hierarchy
+	if level == core.LevelFlat {
+		level = core.LevelAuto
+	}
+	stats := trace.New()
+	w, err := pgas.NewWorldOn(cl, topo, stats)
+	if err != nil {
+		return nil, err
+	}
+	w.SetLabel(label)
+	n := topo.NumImages()
+	remaining := n
+	start := cl.Env().Now()
+	w.Launch(func(pim *pgas.Image) {
+		im := &Image{img: pim, w: w, pol: core.Policy{Level: level, Tuning: cfg.Tuning}}
+		im.stack = []*team.View{team.Initial(w, pim)}
+		body(im)
+		remaining--
+		if remaining == 0 && onDone != nil {
+			onDone(Report{Elapsed: cl.Env().Now() - start, Stats: stats.Snapshot(), Images: n})
+		}
+	})
+	return stats, nil
+}

@@ -1,0 +1,418 @@
+// Command clustersim runs the multi-job cluster scheduler: a seeded load
+// generator submits SPMD jobs (allreduce sweeps, transposes, heat2d, CG)
+// from several tenants onto one shared simulated machine, a placement
+// policy maps each job to cores, and every job's collectives contend on the
+// per-node NIC/progress/membus resources with its neighbors'. The same job
+// stream is replayed under each policy and compared against an ideal
+// no-contention world (each job re-run alone on an identical machine), so
+// the printed tables quantify the contention penalty per collective kind
+// and per policy.
+//
+// Usage:
+//
+//	clustersim [-seed N] [-jobs N] [-machine 16x2x4] [-mean-gap-us N]
+//	           [-policies packed,spread,kchoices,quota] [-k 3] [-quota 3]
+//	           [-ideal=false] [-bench-out BENCH_cluster.json]
+//
+// All output is deterministic for a fixed -seed (the benchmark JSON adds a
+// wall-clock events/sec microbench entry, which is not).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cafteams/caf"
+	"cafteams/internal/cluster"
+	"cafteams/internal/machine"
+	"cafteams/internal/sim"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+type options struct {
+	seed      int64
+	jobs      int
+	machine   string
+	meanGapUS int
+	policies  string
+	k         int
+	quota     int
+	ideal     bool
+	benchOut  string
+}
+
+func main() {
+	var o options
+	flag.Int64Var(&o.seed, "seed", 1, "seed for the load generator and k-choices sampling")
+	flag.IntVar(&o.jobs, "jobs", 40, "number of jobs in the arrival stream")
+	flag.StringVar(&o.machine, "machine", "8x2x4", "machine shape nodes[xsockets[xcores]]")
+	flag.IntVar(&o.meanGapUS, "mean-gap-us", 40, "mean job interarrival gap (simulated us)")
+	flag.StringVar(&o.policies, "policies", "packed,spread,kchoices,quota", "comma-separated placement policies")
+	flag.IntVar(&o.k, "k", 3, "sample size for the k-choices policy")
+	flag.IntVar(&o.quota, "quota", 3, "distinct-node cap per tenant for the quota policy")
+	flag.BoolVar(&o.ideal, "ideal", true, "re-run every job alone on an identical machine and report the contention penalty")
+	flag.StringVar(&o.benchOut, "bench-out", "", "write the benchmark trajectory JSON to this file")
+	flag.Parse()
+	if err := runSim(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+}
+
+// policyRun is one policy's replay of the job stream.
+type policyRun struct {
+	name    string
+	results []*cluster.JobResult
+	summary cluster.Summary
+	ideal   map[string]cluster.CollStat // per-kind, no-contention
+	// kchoices decision counters, when applicable.
+	foundIdle, usedChoices int
+	unplaced               int
+}
+
+func runSim(o options, w io.Writer) error {
+	nodes, sockets, cores, err := topology.ParseShape(o.machine)
+	if err != nil {
+		return err
+	}
+	model := machine.PaperCluster()
+	totalCores := nodes * sockets * cores
+	policies := strings.Split(o.policies, ",")
+
+	// One job stream, shared by every policy, clamped so each job fits the
+	// machine and the quota policy's per-tenant node cap.
+	lg, err := cluster.NewLoadGen(rand.New(rand.NewSource(o.seed)), cluster.DefaultProfiles(),
+		sim.Time(o.meanGapUS)*sim.Microsecond)
+	if err != nil {
+		return err
+	}
+	jobs := lg.Jobs(o.jobs)
+	maxImages := totalCores
+	if q := o.quota * sockets * cores; q < maxImages {
+		maxImages = q
+	}
+	for i := range jobs {
+		if jobs[i].Images > maxImages {
+			jobs[i].Images = maxImages
+		}
+	}
+
+	fmt.Fprintf(w, "clustersim: %d jobs from %d tenants on %s (%d cores), seed %d, mean gap %dus\n",
+		len(jobs), len(lg.Profiles()), o.machine, totalCores, o.seed, o.meanGapUS)
+
+	var runs []*policyRun
+	for _, pname := range policies {
+		pr, err := runPolicy(strings.TrimSpace(pname), o, model, nodes, sockets, cores, jobs)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, pr)
+	}
+
+	printPlacements(w, runs)
+	printSummaries(w, runs)
+	printCollectives(w, runs, o.ideal)
+
+	if o.benchOut != "" {
+		if err := writeBench(o, runs, model); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nbenchmark trajectory written to %s\n", o.benchOut)
+	}
+	return nil
+}
+
+func makePolicy(name string, o options, rng *rand.Rand) (cluster.Policy, error) {
+	switch name {
+	case "packed":
+		return cluster.Packed(), nil
+	case "spread":
+		return cluster.Spread(), nil
+	case "kchoices":
+		return cluster.KChoices(o.k, rng), nil
+	case "quota":
+		return cluster.Quota(cluster.Packed(), o.quota), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want packed, spread, kchoices or quota)", name)
+	}
+}
+
+func runPolicy(pname string, o options, model *machine.Model, nodes, sockets, cores int, jobs []cluster.Job) (*policyRun, error) {
+	cl, err := cluster.New(model, nodes, sockets, cores)
+	if err != nil {
+		return nil, err
+	}
+	// k-choices gets its own stream, seeded off the main seed, so adding
+	// policies never perturbs the load generator.
+	pol, err := makePolicy(pname, o, rand.New(rand.NewSource(o.seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	sched := cluster.NewScheduler(cl, pol, func(job *cluster.Job, topo *topology.Topology, done func(cluster.JobStats)) {
+		tm := trace.NewTimings()
+		_, err := caf.LaunchOn(cl, topo, caf.Config{}, fmt.Sprintf("%s/job%d", pname, job.ID),
+			jobBody(*job, tm), func(caf.Report) { done(jobStats(tm)) })
+		if err != nil {
+			panic(fmt.Sprintf("clustersim: launching %v: %v", job, err))
+		}
+	})
+	sched.Submit(jobs)
+	if err := cl.Env().Run(0); err != nil {
+		return nil, fmt.Errorf("policy %s: %w", pname, err)
+	}
+	pr := &policyRun{
+		name:     pol.Name(),
+		results:  sched.Results(),
+		unplaced: sched.Unfinished(),
+	}
+	pr.summary = cluster.Summarize(cl, pr.results)
+	if kc, ok := pol.(interface{ Counters() (int, int) }); ok {
+		pr.foundIdle, pr.usedChoices = kc.Counters()
+	}
+	if o.ideal {
+		pr.ideal = map[string]cluster.CollStat{}
+		for _, r := range pr.results {
+			st, err := idealJobStats(model, nodes, sockets, cores, r)
+			if err != nil {
+				return nil, err
+			}
+			for k, cs := range st.Coll {
+				agg := pr.ideal[k]
+				agg.NS += cs.NS
+				agg.N += cs.N
+				pr.ideal[k] = agg
+			}
+		}
+	}
+	return pr, nil
+}
+
+// idealJobStats replays one finished job alone, with its exact placement,
+// on a fresh machine of the same shape — the no-contention comparator world
+// every policy's shared numbers are judged against.
+func idealJobStats(model *machine.Model, nodes, sockets, cores int, r *cluster.JobResult) (cluster.JobStats, error) {
+	cl, err := cluster.New(model, nodes, sockets, cores)
+	if err != nil {
+		return cluster.JobStats{}, err
+	}
+	topo, err := cl.Topology(r.Locs)
+	if err != nil {
+		return cluster.JobStats{}, err
+	}
+	tm := trace.NewTimings()
+	if _, err := caf.LaunchOn(cl, topo, caf.Config{}, "ideal", jobBody(r.Job, tm), nil); err != nil {
+		return cluster.JobStats{}, err
+	}
+	if err := cl.Env().Run(0); err != nil {
+		return cluster.JobStats{}, err
+	}
+	return jobStats(tm), nil
+}
+
+func us(ns float64) float64 { return ns / 1000 }
+
+func printPlacements(w io.Writer, runs []*policyRun) {
+	for _, pr := range runs {
+		fmt.Fprintf(w, "\n== placements: %s ==\n", pr.name)
+		for _, r := range pr.results {
+			perNode := map[int]int{}
+			for _, l := range r.Locs {
+				perNode[l.Node]++
+			}
+			nodes := r.Nodes()
+			parts := make([]string, 0, len(nodes))
+			for _, n := range nodes {
+				parts = append(parts, fmt.Sprintf("%d:%d", n, perNode[n]))
+			}
+			fmt.Fprintf(w, "  %-34s wait %8.1fus  span %9.1fus  nodes %s\n",
+				r.Job.String(), us(float64(r.Wait())), us(float64(r.End-r.Start)), strings.Join(parts, " "))
+		}
+		if pr.unplaced > 0 {
+			fmt.Fprintf(w, "  UNPLACED: %d jobs never fit\n", pr.unplaced)
+		}
+	}
+}
+
+func printSummaries(w io.Writer, runs []*policyRun) {
+	fmt.Fprintf(w, "\n== policy comparison ==\n")
+	fmt.Fprintf(w, "%-16s %5s %14s %14s %14s %13s %6s\n",
+		"policy", "jobs", "avg-wait(us)", "max-wait(us)", "avg-turn(us)", "makespan(ms)", "util%")
+	for _, pr := range runs {
+		sm := pr.summary
+		fmt.Fprintf(w, "%-16s %5d %14.1f %14.1f %14.1f %13.2f %6.1f\n",
+			pr.name, sm.Jobs, us(sm.AvgWait), us(float64(sm.MaxWait)), us(sm.AvgTurnaround),
+			float64(sm.Makespan)/float64(sim.Millisecond), 100*sm.Utilization)
+		if pr.foundIdle+pr.usedChoices > 0 {
+			fmt.Fprintf(w, "%-16s        (%d placements from idle heap, %d by k-sampling)\n",
+				"", pr.foundIdle, pr.usedChoices)
+		}
+	}
+}
+
+func printCollectives(w io.Writer, runs []*policyRun, ideal bool) {
+	fmt.Fprintf(w, "\n== collective latency under contention (us/op) ==\n")
+	if ideal {
+		fmt.Fprintf(w, "%-12s %-16s %10s %10s %9s\n", "collective", "policy", "shared", "ideal", "penalty")
+	} else {
+		fmt.Fprintf(w, "%-12s %-16s %10s\n", "collective", "policy", "shared")
+	}
+	kinds := map[string]bool{}
+	for _, pr := range runs {
+		for k := range pr.summary.Coll {
+			kinds[k] = true
+		}
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, kind := range names {
+		for _, pr := range runs {
+			shared, ok := pr.summary.Coll[kind]
+			if !ok {
+				continue
+			}
+			if !ideal {
+				fmt.Fprintf(w, "%-12s %-16s %10.1f\n", kind, pr.name, us(shared.PerOp()))
+				continue
+			}
+			id := pr.ideal[kind]
+			penalty := 0.0
+			if id.PerOp() > 0 {
+				penalty = shared.PerOp() / id.PerOp()
+			}
+			fmt.Fprintf(w, "%-12s %-16s %10.1f %10.1f %8.2fx\n",
+				kind, pr.name, us(shared.PerOp()), us(id.PerOp()), penalty)
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Benchmark trajectory (BENCH_cluster.json)
+
+type benchColl struct {
+	SharedUSPerOp float64 `json:"shared_us_per_op"`
+	IdealUSPerOp  float64 `json:"ideal_us_per_op,omitempty"`
+	Penalty       float64 `json:"penalty,omitempty"`
+	Ops           int64   `json:"ops"`
+}
+
+type benchPolicy struct {
+	Jobs        int                  `json:"jobs"`
+	AvgWaitUS   float64              `json:"avg_wait_us"`
+	MaxWaitUS   float64              `json:"max_wait_us"`
+	AvgTurnUS   float64              `json:"avg_turnaround_us"`
+	MakespanMS  float64              `json:"makespan_ms"`
+	Utilization float64              `json:"utilization"`
+	Coll        map[string]benchColl `json:"collectives"`
+}
+
+type benchMicro struct {
+	Images       int     `json:"images"`
+	Events       int64   `json:"events"`
+	SimMS        float64 `json:"sim_ms"`
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type benchFile struct {
+	Bench     string                 `json:"bench"`
+	Seed      int64                  `json:"seed"`
+	Machine   string                 `json:"machine"`
+	Jobs      int                    `json:"jobs"`
+	MeanGapUS int                    `json:"mean_gap_us"`
+	Policies  map[string]benchPolicy `json:"policies"`
+	Micro     benchMicro             `json:"simulator_microbench"`
+}
+
+func writeBench(o options, runs []*policyRun, model *machine.Model) error {
+	bf := benchFile{
+		Bench:     "cluster",
+		Seed:      o.seed,
+		Machine:   o.machine,
+		Jobs:      o.jobs,
+		MeanGapUS: o.meanGapUS,
+		Policies:  map[string]benchPolicy{},
+	}
+	for _, pr := range runs {
+		sm := pr.summary
+		bp := benchPolicy{
+			Jobs:        sm.Jobs,
+			AvgWaitUS:   round1(us(sm.AvgWait)),
+			MaxWaitUS:   round1(us(float64(sm.MaxWait))),
+			AvgTurnUS:   round1(us(sm.AvgTurnaround)),
+			MakespanMS:  round2(float64(sm.Makespan) / float64(sim.Millisecond)),
+			Utilization: round2(sm.Utilization),
+			Coll:        map[string]benchColl{},
+		}
+		for _, kind := range sm.CollKinds() {
+			shared := sm.Coll[kind]
+			bc := benchColl{SharedUSPerOp: round1(us(shared.PerOp())), Ops: shared.N}
+			if id, ok := pr.ideal[kind]; ok && id.PerOp() > 0 {
+				bc.IdealUSPerOp = round1(us(id.PerOp()))
+				bc.Penalty = round2(shared.PerOp() / id.PerOp())
+			}
+			bp.Coll[kind] = bc
+		}
+		bf.Policies[pr.name] = bp
+	}
+	micro, err := microbench(model)
+	if err != nil {
+		return err
+	}
+	bf.Micro = micro
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(o.benchOut, append(data, '\n'), 0o644)
+}
+
+// microbench measures raw simulator throughput (events/sec of wall time) on
+// a fixed single-job allreduce sweep — the perf-trajectory entry ROADMAP
+// asks every perf PR to track.
+func microbench(model *machine.Model) (benchMicro, error) {
+	cl, err := cluster.New(model, 8, 2, 4)
+	if err != nil {
+		return benchMicro{}, err
+	}
+	locs := make([]topology.Loc, 0, 64)
+	for n := 0; n < 8; n++ {
+		for c := 0; c < 8; c++ {
+			locs = append(locs, topology.Loc{Node: n, Core: c})
+		}
+	}
+	topo, err := cl.Topology(locs)
+	if err != nil {
+		return benchMicro{}, err
+	}
+	body := jobBody(cluster.Job{Kind: cluster.JobAllreduce, Elems: 512, Iters: 30}, trace.NewTimings())
+	if _, err := caf.LaunchOn(cl, topo, caf.Config{}, "micro", body, nil); err != nil {
+		return benchMicro{}, err
+	}
+	start := time.Now()
+	if err := cl.Env().Run(0); err != nil {
+		return benchMicro{}, err
+	}
+	wall := time.Since(start)
+	ev := cl.Env().Events()
+	return benchMicro{
+		Images:       64,
+		Events:       ev,
+		SimMS:        round2(float64(cl.Env().Now()) / float64(sim.Millisecond)),
+		WallMS:       round2(wall.Seconds() * 1000),
+		EventsPerSec: round1(float64(ev) / wall.Seconds()),
+	}, nil
+}
+
+func round1(v float64) float64 { return float64(int64(v*10+0.5)) / 10 }
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testOptions() options {
+	return options{
+		seed:      1,
+		jobs:      12,
+		machine:   "4x2x2",
+		meanGapUS: 40,
+		policies:  "packed,spread,kchoices,quota",
+		k:         3,
+		quota:     2,
+		ideal:     true,
+	}
+}
+
+// TestSmoke runs the full policy comparison on a small machine and checks
+// the headline sections all rendered and every job finished under every
+// policy.
+func TestSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSim(testOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== placements: packed ==",
+		"== placements: spread ==",
+		"== placements: kchoices(3) ==",
+		"== placements: packed+quota(2) ==",
+		"== policy comparison ==",
+		"== collective latency under contention (us/op) ==",
+		"allreduce",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "UNPLACED") {
+		t.Errorf("jobs were left unplaced:\n%s", out)
+	}
+}
+
+// TestSeededDeterminism is the acceptance check: the same -seed must yield
+// byte-identical placement and metrics tables, and a different seed must
+// not.
+func TestSeededDeterminism(t *testing.T) {
+	run := func(seed int64) string {
+		o := testOptions()
+		o.seed = seed
+		var buf bytes.Buffer
+		if err := runSim(o, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(1), run(1)
+	if a != b {
+		t.Fatalf("same seed produced different output:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if a == run(2) {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+// TestBenchOutput checks the benchmark JSON has per-policy collective
+// entries with a contention penalty and a positive events/sec microbench.
+func TestBenchOutput(t *testing.T) {
+	o := testOptions()
+	o.benchOut = filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := runSim(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.benchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Bench != "cluster" || len(bf.Policies) != 4 {
+		t.Fatalf("bench file %+v", bf)
+	}
+	for name, bp := range bf.Policies {
+		ar, ok := bp.Coll["allreduce"]
+		if !ok || ar.Ops == 0 {
+			t.Fatalf("policy %s missing allreduce stats: %+v", name, bp)
+		}
+		if ar.Penalty < 1 {
+			t.Errorf("policy %s allreduce penalty %v < 1 (shared faster than ideal?)", name, ar.Penalty)
+		}
+	}
+	if bf.Micro.Events == 0 || bf.Micro.EventsPerSec <= 0 {
+		t.Fatalf("microbench not populated: %+v", bf.Micro)
+	}
+}
+
+// TestContentionMeasurable pins the demo's point: on the saturating default
+// configuration at least one policy's allreduce runs measurably slower
+// shared than ideal.
+func TestContentionMeasurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default-config run")
+	}
+	o := testOptions()
+	o.jobs = 40
+	o.machine = "8x2x4"
+	// Read the penalty straight from a bench file to avoid parsing the table.
+	o.benchOut = filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := runSim(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.benchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, bp := range bf.Policies {
+		if p := bp.Coll["allreduce"].Penalty; p > best {
+			best = p
+		}
+	}
+	if best < 1.05 {
+		t.Fatalf("no policy shows a measurable allreduce contention penalty (best %vx)", best)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	o := testOptions()
+	o.machine = "0x2"
+	if err := runSim(o, nil); err == nil {
+		t.Fatal("machine shape 0x2 accepted")
+	}
+	o = testOptions()
+	o.policies = "packed,magic"
+	var buf bytes.Buffer
+	if err := runSim(o, &buf); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("unknown policy error = %v", err)
+	}
+}

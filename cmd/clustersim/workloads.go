@@ -1,0 +1,93 @@
+package main
+
+import (
+	"cafteams/caf"
+	"cafteams/internal/cluster"
+	"cafteams/internal/trace"
+)
+
+// jobBody returns the SPMD body for one job: a scaled-down slice of the
+// repository's existing workloads (allreduce sweep, alltoall transpose,
+// heat2d stencil, CG dot-product loop). Image 1 times every collective
+// episode into tm, keyed by collective kind, so the scheduler can compare
+// contended against ideal latencies per kind.
+func jobBody(job cluster.Job, tm *trace.Timings) func(im *caf.Image) {
+	timed := func(im *caf.Image, kind string, fn func()) {
+		t0 := im.Now()
+		fn()
+		if im.ThisImage() == 1 {
+			tm.Add(kind, im.Now()-t0)
+		}
+	}
+	switch job.Kind {
+	case cluster.JobAllreduce:
+		// Gradient-sync style sweep: dense compute, then a full-payload
+		// allreduce, every iteration.
+		return func(im *caf.Image) {
+			buf := make([]float64, job.Elems)
+			for i := range buf {
+				buf[i] = float64(im.ThisImage() + i)
+			}
+			for it := 0; it < job.Iters; it++ {
+				im.Compute(float64(job.Elems) * 8)
+				timed(im, "allreduce", func() { im.CoSum(buf) })
+			}
+		}
+	case cluster.JobTranspose:
+		// Distributed matrix transpose: band offsets by exclusive scan,
+		// then the personalized all-to-all exchange.
+		return func(im *caf.Image) {
+			n := im.NumImages()
+			block := job.Elems/n + 1
+			send := make([]float64, n*block)
+			recv := make([]float64, n*block)
+			for i := range send {
+				send[i] = float64(im.ThisImage()*len(send) + i)
+			}
+			off := []float64{float64(block)}
+			for it := 0; it < job.Iters; it++ {
+				timed(im, "scan", func() { im.CoScan(off, true) })
+				timed(im, "alltoall", func() { im.CoAlltoall(send, recv) })
+				im.Compute(float64(n*block) * 2)
+			}
+		}
+	case cluster.JobHeat2D:
+		// Stencil sweep: halo-ish barrier, compute, residual co_max, and a
+		// small parameter broadcast.
+		return func(im *caf.Image) {
+			res := []float64{float64(im.ThisImage())}
+			step := []float64{1}
+			for it := 0; it < job.Iters; it++ {
+				timed(im, "barrier", func() { im.SyncAll() })
+				im.Compute(float64(job.Elems) * 5)
+				timed(im, "allreduce", func() { im.CoMax(res) })
+				timed(im, "broadcast", func() { im.CoBroadcast(step, 1) })
+			}
+		}
+	case cluster.JobCG:
+		// Conjugate-gradient loop: sparse matvec compute plus two scalar
+		// dot-product reductions per iteration.
+		return func(im *caf.Image) {
+			rr := []float64{float64(im.ThisImage())}
+			pq := []float64{1}
+			for it := 0; it < job.Iters; it++ {
+				im.Compute(float64(job.Elems) * 4)
+				timed(im, "allreduce", func() { im.CoSum(rr) })
+				im.Compute(float64(job.Elems))
+				timed(im, "allreduce", func() { im.CoSum(pq) })
+			}
+		}
+	default:
+		return func(im *caf.Image) {}
+	}
+}
+
+// jobStats converts a job's timing accumulators into the scheduler's
+// result form.
+func jobStats(tm *trace.Timings) cluster.JobStats {
+	st := cluster.JobStats{Coll: map[string]cluster.CollStat{}}
+	tm.Each(func(name string, cell trace.TimingCell) {
+		st.Coll[name] = cluster.CollStat{NS: cell.NS, N: cell.N}
+	})
+	return st
+}

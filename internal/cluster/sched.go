@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"cafteams/internal/sim"
+	"cafteams/internal/topology"
+)
+
+// StartFunc launches a placed job inside the simulation. It must spawn the
+// job's images on the scheduler's cluster (caf.LaunchOn does this) and
+// arrange for done to be called exactly once, from simulation context, when
+// every image has finished. stats carries whatever the workload measured
+// (per-collective-kind latencies in clustersim).
+type StartFunc func(job *Job, topo *topology.Topology, done func(stats JobStats))
+
+// JobStats is what a finished job reports back to the scheduler.
+type JobStats struct {
+	// Coll accumulates collective latency by kind name: total simulated
+	// nanoseconds and episode count, as measured by the job's image 1.
+	Coll map[string]CollStat
+}
+
+// CollStat is one collective kind's latency accumulator.
+type CollStat struct {
+	NS sim.Time
+	N  int64
+}
+
+// PerOp returns mean nanoseconds per episode.
+func (c CollStat) PerOp() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.NS) / float64(c.N)
+}
+
+// JobResult records one job's life cycle on the cluster.
+type JobResult struct {
+	Job  Job
+	Locs []topology.Loc
+	// Start is when the job's images launched (placement time), End when
+	// the last image finished. Wait = Start - Arrival.
+	Start, End sim.Time
+	Stats      JobStats
+}
+
+// Wait returns time spent queued.
+func (r *JobResult) Wait() sim.Time { return r.Start - r.Job.Arrival }
+
+// Turnaround returns arrival-to-completion time.
+func (r *JobResult) Turnaround() sim.Time { return r.End - r.Job.Arrival }
+
+// Nodes returns the distinct nodes the job ran on, ascending.
+func (r *JobResult) Nodes() []int {
+	seen := map[int]bool{}
+	for _, l := range r.Locs {
+		seen[l.Node] = true
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Scheduler queues, places, starts and retires jobs on one cluster. It is
+// event-driven: Submit registers arrival events on the cluster's
+// environment, and completions (signaled by the StartFunc's done callback)
+// free cores and re-try the queue. Everything runs inside the simulation,
+// so a fixed (policy, job stream) pair gives byte-identical outcomes.
+//
+// The queue is FIFO with backfilling: when cores free up, every queued job
+// is tried in arrival order and any that fits is started — a small job can
+// overtake a blocked large one, but never delays it (the large job keeps
+// its queue position).
+type Scheduler struct {
+	c      *Cluster
+	policy Policy
+	start  StartFunc
+
+	pending []*Job
+	running map[int]*JobResult
+	done    []*JobResult
+	// tenantNodes counts, per tenant, how many running jobs occupy each
+	// node; quota policies read the key set.
+	tenantNodes map[int]map[int]int
+}
+
+// NewScheduler builds a scheduler for cluster c using the given placement
+// policy and job launcher.
+func NewScheduler(c *Cluster, policy Policy, start StartFunc) *Scheduler {
+	return &Scheduler{
+		c:           c,
+		policy:      policy,
+		start:       start,
+		running:     map[int]*JobResult{},
+		tenantNodes: map[int]map[int]int{},
+	}
+}
+
+// Policy returns the placement policy in use.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Submit registers the jobs' arrival events. Call before running the
+// environment; jobs must be in nondecreasing arrival order.
+func (s *Scheduler) Submit(jobs []Job) {
+	for i := range jobs {
+		j := jobs[i]
+		s.c.Env().Schedule(j.Arrival, func() {
+			jc := j
+			s.pending = append(s.pending, &jc)
+			s.tryPlace()
+		})
+	}
+}
+
+// state snapshots the cluster for one placement decision.
+func (s *Scheduler) state() *State {
+	st := &State{
+		CoresPerNode: s.c.CoresPerNode(),
+		Free:         make([][]int, s.c.Nodes()),
+		TenantNodes:  map[int][]int{},
+	}
+	for n := 0; n < s.c.Nodes(); n++ {
+		st.Free[n] = s.c.FreeCoreIDs(n)
+	}
+	// Deterministic iteration: tenants and nodes sorted.
+	tenants := make([]int, 0, len(s.tenantNodes))
+	for t := range s.tenantNodes {
+		tenants = append(tenants, t)
+	}
+	sort.Ints(tenants)
+	for _, t := range tenants {
+		nodes := make([]int, 0, len(s.tenantNodes[t]))
+		for n, cnt := range s.tenantNodes[t] {
+			if cnt > 0 {
+				nodes = append(nodes, n)
+			}
+		}
+		sort.Ints(nodes)
+		if len(nodes) > 0 {
+			st.TenantNodes[t] = nodes
+		}
+	}
+	return st
+}
+
+// tryPlace scans the queue in arrival order and starts every job the policy
+// can place on the current free cores.
+func (s *Scheduler) tryPlace() {
+	var still []*Job
+	for _, j := range s.pending {
+		locs, ok := s.policy.Place(s.state(), j)
+		if !ok {
+			still = append(still, j)
+			continue
+		}
+		if len(locs) != j.Images {
+			panic(fmt.Sprintf("cluster: policy %s placed %d images for %v", s.policy.Name(), len(locs), j))
+		}
+		if err := s.c.Allocate(locs); err != nil {
+			panic(fmt.Sprintf("cluster: policy %s produced invalid placement for %v: %v", s.policy.Name(), j, err))
+		}
+		topo, err := s.c.Topology(locs)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: placement for %v does not form a topology: %v", j, err))
+		}
+		res := &JobResult{Job: *j, Locs: locs, Start: s.c.Env().Now()}
+		s.running[j.ID] = res
+		for _, l := range locs {
+			tn := s.tenantNodes[j.Tenant]
+			if tn == nil {
+				tn = map[int]int{}
+				s.tenantNodes[j.Tenant] = tn
+			}
+			tn[l.Node]++
+		}
+		jid := j.ID
+		s.start(j, topo, func(stats JobStats) { s.finish(jid, stats) })
+	}
+	s.pending = still
+}
+
+// finish retires a job: frees its cores, charges utilization, records the
+// result and retries the queue.
+func (s *Scheduler) finish(id int, stats JobStats) {
+	res, ok := s.running[id]
+	if !ok {
+		panic(fmt.Sprintf("cluster: done callback for unknown or already finished job %d", id))
+	}
+	delete(s.running, id)
+	res.End = s.c.Env().Now()
+	res.Stats = stats
+	s.c.Release(res.Locs, res.End-res.Start)
+	tn := s.tenantNodes[res.Job.Tenant]
+	for _, l := range res.Locs {
+		tn[l.Node]--
+		if tn[l.Node] == 0 {
+			delete(tn, l.Node)
+		}
+	}
+	s.done = append(s.done, res)
+	s.tryPlace()
+}
+
+// Results returns the finished jobs sorted by job ID. Call after the
+// environment has drained.
+func (s *Scheduler) Results() []*JobResult {
+	out := append([]*JobResult(nil), s.done...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Job.ID < out[j].Job.ID })
+	return out
+}
+
+// Unfinished returns how many submitted jobs have not completed (queued or
+// running) — nonzero after a drained simulation indicates a stuck workload
+// or a job that can never fit.
+func (s *Scheduler) Unfinished() int { return len(s.pending) + len(s.running) }
+
+// Summary aggregates a policy run.
+type Summary struct {
+	Jobs          int
+	AvgWait       float64 // ns
+	MaxWait       sim.Time
+	AvgTurnaround float64 // ns
+	Makespan      sim.Time
+	Utilization   float64
+	// Coll aggregates collective latency across jobs by kind name.
+	Coll map[string]CollStat
+}
+
+// Summarize aggregates results against the cluster that ran them.
+func Summarize(c *Cluster, results []*JobResult) Summary {
+	sm := Summary{Jobs: len(results), Coll: map[string]CollStat{}}
+	for _, r := range results {
+		sm.AvgWait += float64(r.Wait())
+		if r.Wait() > sm.MaxWait {
+			sm.MaxWait = r.Wait()
+		}
+		sm.AvgTurnaround += float64(r.Turnaround())
+		if r.End > sm.Makespan {
+			sm.Makespan = r.End
+		}
+		for k, cs := range r.Stats.Coll {
+			agg := sm.Coll[k]
+			agg.NS += cs.NS
+			agg.N += cs.N
+			sm.Coll[k] = agg
+		}
+	}
+	if len(results) > 0 {
+		sm.AvgWait /= float64(len(results))
+		sm.AvgTurnaround /= float64(len(results))
+	}
+	sm.Utilization = c.Utilization(sm.Makespan)
+	return sm
+}
+
+// CollKinds returns the summary's collective kind names, sorted.
+func (sm Summary) CollKinds() []string {
+	out := make([]string, 0, len(sm.Coll))
+	for k := range sm.Coll {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

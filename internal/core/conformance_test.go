@@ -40,17 +40,30 @@ type confScenario struct {
 	place          topology.Placement
 	elems          int
 	seed           int64
+
+	// label and topo, when set, override the synthetic shape above: the
+	// scheduler-placement sweep injects gappy, non-rank-contiguous
+	// topologies produced by the cluster placement policies here.
+	label string
+	topo  *topology.Topology
 }
 
 func (s confScenario) String() string {
+	if s.label != "" {
+		return fmt.Sprintf("%s-%delems", s.label, s.elems)
+	}
 	return fmt.Sprintf("%dx%d-%s-%delems", s.nodes, s.perNode, s.place, s.elems)
 }
 
 func (s confScenario) world(t testing.TB) *pgas.World {
 	t.Helper()
-	topo, err := topology.New(s.nodes, 2, (s.perNode+1)/2, s.nodes*s.perNode, s.place)
-	if err != nil {
-		t.Fatal(err)
+	topo := s.topo
+	if topo == nil {
+		var err error
+		topo, err = topology.New(s.nodes, 2, (s.perNode+1)/2, s.nodes*s.perNode, s.place)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	w, err := pgas.NewWorld(sim.NewEnv(), machine.PaperCluster(), topo, trace.New())
 	if err != nil {

@@ -1,0 +1,145 @@
+package pgas
+
+// Regression tests for the sim.Env sharing contract: several Worlds (jobs)
+// may share one environment and one cluster.Cluster — their events
+// interleave deterministically on the single event queue — and co-located
+// jobs contend on the shared per-node resources.
+
+import (
+	"reflect"
+	"testing"
+
+	"cafteams/internal/cluster"
+	"cafteams/internal/machine"
+	"cafteams/internal/sim"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// launchPingPong starts a world of n images on the shared cluster where
+// every image repeatedly puts to its right neighbor and waits for its left,
+// recording each image's finish time into out.
+func launchPingPong(t *testing.T, hw *cluster.Cluster, label string, locs []topology.Loc, rounds int, out []sim.Time) *World {
+	t.Helper()
+	topo, err := hw.Topology(locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorldOn(hw, topo, trace.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetLabel(label)
+	n := topo.NumImages()
+	w.Launch(func(im *Image) {
+		ca := NewCoarray[float64](w, "buf", 8)
+		fl := NewFlags(w, "flags", 1)
+		right := (im.Rank() + 1) % n
+		src := make([]float64, 8)
+		for r := 0; r < rounds; r++ {
+			PutThenNotify(im, ca, right, 0, src, fl, 0, 1, ViaAuto)
+			im.WaitFlagGE(fl, im.Rank(), 0, int64(r+1))
+		}
+		out[im.Rank()] = im.Now()
+	})
+	return w
+}
+
+func clusterLocs(node0 int, cores ...int) []topology.Loc {
+	locs := make([]topology.Loc, len(cores))
+	for i, c := range cores {
+		locs[i] = topology.Loc{Node: node0, Core: c}
+	}
+	return locs
+}
+
+// TestTwoWorldsShareOneEnvDeterministically runs two jobs on one shared
+// cluster twice and demands byte-identical per-image completion times; it
+// also checks both jobs really interleave (neither runs to completion
+// before the other starts).
+func TestTwoWorldsShareOneEnvDeterministically(t *testing.T) {
+	run := func() ([]sim.Time, []sim.Time) {
+		hw, err := cluster.New(machine.PaperCluster(), 2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aDone := make([]sim.Time, 2)
+		bDone := make([]sim.Time, 2)
+		// Job A on node 0 cores {0,1}; job B split across nodes 0 and 1 —
+		// B's node-0 image shares A's NIC, progress engine and membus.
+		launchPingPong(t, hw, "jobA", clusterLocs(0, 0, 1), 50, aDone)
+		launchPingPong(t, hw, "jobB", []topology.Loc{{Node: 0, Core: 2}, {Node: 1, Core: 0}}, 50, bDone)
+		if err := hw.Env().Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return aDone, bDone
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+		t.Fatalf("shared-env run not deterministic: %v/%v vs %v/%v", a1, b1, a2, b2)
+	}
+	for i, at := range a1 {
+		if at == 0 {
+			t.Fatalf("job A image %d never finished", i)
+		}
+	}
+	for i, bt := range b1 {
+		if bt == 0 {
+			t.Fatalf("job B image %d never finished", i)
+		}
+	}
+}
+
+// TestSharedClusterContention checks the tentpole's physics: a job's
+// collectives are slower when a second job hammers the same node's
+// resources than when it has the machine to itself.
+func TestSharedClusterContention(t *testing.T) {
+	elapsed := func(withNeighbor bool) sim.Time {
+		hw, err := cluster.New(machine.PaperCluster(), 2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := make([]sim.Time, 2)
+		launchPingPong(t, hw, "victim", []topology.Loc{{Node: 0, Core: 0}, {Node: 1, Core: 0}}, 80, victim)
+		if withNeighbor {
+			noise := make([]sim.Time, 2)
+			launchPingPong(t, hw, "noise", []topology.Loc{{Node: 0, Core: 1}, {Node: 1, Core: 1}}, 80, noise)
+		}
+		if err := hw.Env().Run(0); err != nil {
+			t.Fatal(err)
+		}
+		max := victim[0]
+		if victim[1] > max {
+			max = victim[1]
+		}
+		return max
+	}
+	alone := elapsed(false)
+	contended := elapsed(true)
+	if contended <= alone {
+		t.Fatalf("co-located job did not slow the victim: alone=%dns contended=%dns", alone, contended)
+	}
+}
+
+// TestNewWorldOnRejectsOversizedTopology pins the shape validation.
+func TestNewWorldOnRejectsOversizedTopology(t *testing.T) {
+	hw, err := cluster.New(machine.PaperCluster(), 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.New(4, 2, 2, 4, topology.PlaceBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorldOn(hw, topo, nil); err == nil {
+		t.Fatal("topology spanning 4 nodes accepted on a 2-node cluster")
+	}
+	big, err := topology.New(2, 2, 4, 4, topology.PlaceBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorldOn(hw, big, nil); err == nil {
+		t.Fatal("topology with 8 cores/node accepted on a 4-core/node cluster")
+	}
+}

@@ -25,6 +25,7 @@ package pgas
 import (
 	"fmt"
 
+	"cafteams/internal/cluster"
 	"cafteams/internal/machine"
 	"cafteams/internal/sim"
 	"cafteams/internal/topology"
@@ -65,40 +66,71 @@ func (v Via) String() string {
 // World is one SPMD program instance: a set of images placed on a simulated
 // cluster. All images share the World object; per-image state lives in
 // Image.
+//
+// The hardware under a World — clock, cost model, per-node serializing
+// resources — is owned by a cluster.Cluster. A World built with NewWorld
+// gets a private machine (the historical single-job behavior); Worlds built
+// with NewWorldOn share one machine, so their traffic contends on the same
+// NICs, progress engines and memory buses. Several Worlds may share one
+// cluster (and hence one sim.Env): each job's images are ordinary simulated
+// processes interleaved deterministically by the single event queue.
 type World struct {
+	hw    *cluster.Cluster
 	env   *sim.Env
 	model *machine.Model
 	topo  *topology.Topology
 	stats *trace.Stats
 
 	images   []*Image
-	nic      []*sim.Resource // per node
+	nic      []*sim.Resource // per node (aliases hw's resources)
 	progress []*sim.Resource // per node, conduit software path
 	membus   []*sim.Resource // per node, shared-memory path
 
 	registry map[string]interface{} // world-wide named objects (teams, flags)
+
+	// label prefixes simulated process names, so deadlock reports tell
+	// co-scheduled jobs' images apart. Empty for single-job worlds.
+	label string
 }
 
-// NewWorld creates a world with one image per placed rank in topo. The
-// caller launches image bodies with Launch.
+// NewWorld creates a world with one image per placed rank in topo, on a
+// private machine owned by this world alone. The caller launches image
+// bodies with Launch.
 func NewWorld(env *sim.Env, model *machine.Model, topo *topology.Topology, stats *trace.Stats) (*World, error) {
-	if err := model.Validate(); err != nil {
+	coresPerSocket := topo.CoresPerNode() / topo.SocketsPerNode()
+	hw, err := cluster.NewWithEnv(env, model, topo.NumNodes(), topo.SocketsPerNode(), coresPerSocket)
+	if err != nil {
 		return nil, err
+	}
+	return NewWorldOn(hw, topo, stats)
+}
+
+// NewWorldOn creates a world on an externally owned cluster: the world uses
+// the cluster's environment, model and per-node resources, so its traffic
+// contends with every other world on the same cluster. topo's node ids are
+// physical cluster node ids and must fit the cluster's shape; core
+// allocation (which job owns which core) is the scheduler's business, not
+// checked here.
+func NewWorldOn(hw *cluster.Cluster, topo *topology.Topology, stats *trace.Stats) (*World, error) {
+	if topo.NumNodes() > hw.Nodes() {
+		return nil, fmt.Errorf("pgas: topology spans %d nodes but cluster has %d", topo.NumNodes(), hw.Nodes())
+	}
+	if topo.CoresPerNode() > hw.CoresPerNode() {
+		return nil, fmt.Errorf("pgas: topology wants %d cores/node but cluster has %d", topo.CoresPerNode(), hw.CoresPerNode())
 	}
 	if stats == nil {
 		stats = trace.New()
 	}
 	w := &World{
-		env:      env,
-		model:    model,
+		hw:       hw,
+		env:      hw.Env(),
+		model:    hw.Model(),
 		topo:     topo,
 		stats:    stats,
+		nic:      hw.NICs(),
+		progress: hw.ProgressEngines(),
+		membus:   hw.Membuses(),
 		registry: make(map[string]interface{}),
-	}
-	for n := 0; n < topo.NumNodes(); n++ {
-		w.nic = append(w.nic, sim.NewResource(fmt.Sprintf("nic%d", n)))
-		w.progress = append(w.progress, sim.NewResource(fmt.Sprintf("progress%d", n)))
-		w.membus = append(w.membus, sim.NewResource(fmt.Sprintf("membus%d", n)))
 	}
 	for r := 0; r < topo.NumImages(); r++ {
 		w.images = append(w.images, &Image{
@@ -109,6 +141,9 @@ func NewWorld(env *sim.Env, model *machine.Model, topo *topology.Topology, stats
 	}
 	return w, nil
 }
+
+// Cluster returns the machine this world runs on.
+func (w *World) Cluster() *cluster.Cluster { return w.hw }
 
 // Env returns the simulation environment.
 func (w *World) Env() *sim.Env { return w.env }
@@ -129,12 +164,22 @@ func (w *World) NumImages() int { return len(w.images) }
 // Image returns image rank r (0-based).
 func (w *World) Image(r int) *Image { return w.images[r] }
 
+// SetLabel names this world's images in simulated-process listings
+// ("<label>/image3"); useful when several jobs share one environment.
+func (w *World) SetLabel(label string) {
+	if label != "" {
+		w.label = label + "/"
+	} else {
+		w.label = ""
+	}
+}
+
 // Launch spawns every image running body and returns after all are
 // scheduled; drive the simulation with Env().Run.
 func (w *World) Launch(body func(img *Image)) {
 	for _, img := range w.images {
 		img := img
-		w.env.Spawn(fmt.Sprintf("image%d", img.rank), func(p *sim.Proc) {
+		w.env.Spawn(fmt.Sprintf("%simage%d", w.label, img.rank), func(p *sim.Proc) {
 			img.proc = p
 			body(img)
 		})

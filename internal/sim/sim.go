@@ -55,14 +55,25 @@ func (h *eventHeap) Pop() interface{} {
 }
 
 // Env is a simulation environment: an event queue, a clock, and a set of
-// processes. An Env must not be shared across concurrently running
-// simulations; create one per simulation.
+// processes.
+//
+// Sharing contract: all scheduling and execution for one Env must happen on
+// one scheduler goroutine — an Env must not be driven by two goroutines
+// concurrently, and no other goroutine may call Schedule/Spawn while Run is
+// executing. Within that constraint, an Env may host any number of logical
+// simulations at once: multiple pgas.Worlds (jobs on a shared cluster)
+// spawn their processes into one queue and interleave deterministically by
+// (time, sequence) order, which is exactly how internal/cluster models a
+// multi-job machine. What is NOT supported is reusing one Env for two
+// *independent* back-to-back experiments — time and sequence numbers only
+// move forward; create a fresh Env per experiment instead.
 type Env struct {
-	now   Time
-	seq   uint64
-	queue eventHeap
-	yield chan struct{} // process -> scheduler handshake
-	procs []*Proc
+	now    Time
+	seq    uint64
+	events int64
+	queue  eventHeap
+	yield  chan struct{} // process -> scheduler handshake
+	procs  []*Proc
 	// panicked records a panic escaping a process so Run can re-raise it
 	// on the scheduler goroutine, where the test harness sees it.
 	panicked interface{}
@@ -76,6 +87,10 @@ func NewEnv() *Env {
 
 // Now returns the current simulated time.
 func (e *Env) Now() Time { return e.now }
+
+// Events returns the number of events executed so far, the unit of the
+// simulator-throughput (events/sec) microbenchmark.
+func (e *Env) Events() int64 { return e.events }
 
 // Schedule registers fn to run at absolute simulated time at. Scheduling in
 // the past is treated as "now". Events scheduled at the same time run in
@@ -194,6 +209,7 @@ func (e *Env) Run(limit Time) error {
 		}
 		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.at
+		e.events++
 		ev.fn()
 		if e.hasPanic {
 			panic(e.panicked)

@@ -155,6 +155,39 @@ func ParseSpec(spec string) (*Topology, error) {
 	return NewCustom(nodes, 2, coresPerSocket, locs)
 }
 
+// ParseShape parses a bare machine shape "NODESxSOCKETSxCORES" (e.g.
+// "16x2x4": 16 dual-socket quad-core nodes) without placing any images —
+// the form cluster schedulers size a shared machine with. The sockets and
+// cores parts may be omitted ("16" or "16x8" mean 2 sockets and an even
+// core split, as in ParseSpec's node model).
+func ParseShape(shape string) (nodes, socketsPerNode, coresPerSocket int, err error) {
+	parts := strings.Split(strings.TrimSpace(shape), "x")
+	bad := func() (int, int, int, error) {
+		return 0, 0, 0, fmt.Errorf("topology: bad shape %q, want \"nodes[xsockets[xcores]]\"", shape)
+	}
+	nums := make([]int, 0, 3)
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return bad()
+		}
+		nums = append(nums, v)
+	}
+	switch len(nums) {
+	case 1:
+		return nums[0], 2, 4, nil
+	case 2: // "nodes x coresPerNode", dual-socket split
+		if nums[1]%2 != 0 {
+			return bad()
+		}
+		return nums[0], 2, nums[1] / 2, nil
+	case 3:
+		return nums[0], nums[1], nums[2], nil
+	default:
+		return bad()
+	}
+}
+
 // NumImages returns the number of placed images.
 func (t *Topology) NumImages() int { return len(t.locs) }
 

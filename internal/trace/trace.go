@@ -114,6 +114,52 @@ func (s *Stats) Reset() {
 	s.ops = make(map[Op]int64)
 }
 
+// Timings accumulates named durations — per-collective-kind episode
+// latencies in the cluster scheduler's workloads. Like Stats it is safe
+// under the simulation's single-scheduler execution; the mutex covers
+// concurrent snapshot readers.
+type Timings struct {
+	mu sync.Mutex
+	m  map[string]TimingCell
+}
+
+// TimingCell is one accumulator: total nanoseconds over N additions.
+type TimingCell struct {
+	NS int64
+	N  int64
+}
+
+// NewTimings returns an empty accumulator set.
+func NewTimings() *Timings { return &Timings{m: make(map[string]TimingCell)} }
+
+// Add charges ns nanoseconds to the named accumulator.
+func (t *Timings) Add(name string, ns int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.m[name]
+	c.NS += ns
+	c.N++
+	t.m[name] = c
+}
+
+// Each visits the accumulators in sorted name order.
+func (t *Timings) Each(fn func(name string, cell TimingCell)) {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.m))
+	for k := range t.m {
+		names = append(names, k)
+	}
+	cells := make(map[string]TimingCell, len(t.m))
+	for k, v := range t.m {
+		cells[k] = v
+	}
+	t.mu.Unlock()
+	sort.Strings(names)
+	for _, k := range names {
+		fn(k, cells[k])
+	}
+}
+
 // Diff returns counters accumulated since the earlier snapshot.
 func (sn Snapshot) Diff(earlier Snapshot) Snapshot {
 	ops := make(map[Op]int64)
