@@ -29,6 +29,7 @@ package caf
 
 import (
 	"fmt"
+	"os"
 
 	"cafteams/internal/core"
 	"cafteams/internal/machine"
@@ -84,6 +85,37 @@ type Config struct {
 	// collective with an element type it was not registered for panics
 	// at the call site.) See also WithAlgorithm.
 	Tuning Tuning
+	// Backend selects the execution substrate: BackendSim (default) runs
+	// images as simulated processes with modeled time on the modeled
+	// cluster; BackendNative runs them as real goroutines in this process
+	// with wall-clock time (Spec still shapes the logical node hierarchy
+	// the collectives exploit). An empty Backend falls back to the
+	// CAF_BACKEND environment variable, so existing programs run
+	// unmodified under either backend. Unknown values make Run fail.
+	Backend string
+}
+
+// Backend names accepted by Config.Backend and the CAF_BACKEND environment
+// variable.
+const (
+	BackendSim    = "sim"
+	BackendNative = "native"
+)
+
+// resolveBackend applies the CAF_BACKEND fallback and validates the name.
+func (c Config) resolveBackend() (string, error) {
+	b := c.Backend
+	if b == "" {
+		b = os.Getenv("CAF_BACKEND")
+	}
+	switch b {
+	case "", BackendSim:
+		return BackendSim, nil
+	case BackendNative:
+		return BackendNative, nil
+	default:
+		return "", fmt.Errorf("caf: unknown backend %q (want %q or %q)", b, BackendSim, BackendNative)
+	}
 }
 
 // WithAlgorithm returns a copy of the Config that dispatches collective
@@ -97,12 +129,16 @@ func (c Config) WithAlgorithm(k Kind, name string) Config {
 
 // Report summarizes a completed run.
 type Report struct {
-	// Elapsed is the simulated wall-clock time of the whole run.
-	Elapsed sim.Time
+	// Elapsed is the end-to-end time of the whole run in nanoseconds:
+	// simulated time on the sim backend, wall-clock time on the native
+	// backend.
+	Elapsed pgas.Time
 	// Stats holds communication counters.
 	Stats trace.Snapshot
 	// Images is the number of images that ran.
 	Images int
+	// Backend names the execution substrate the run used.
+	Backend string
 }
 
 // Image is one executing image's handle. All methods must be called from
@@ -159,17 +195,26 @@ func runWithLevel(cfg Config, level core.Level, body func(im *Image)) (Report, e
 		model = machine.PaperCluster()
 	}
 	model = model.WithConduit(cfg.Conduit)
-	stats := trace.New()
-	w, err := pgas.NewWorld(sim.NewEnv(), model, topo, stats)
+	backend, err := cfg.resolveBackend()
 	if err != nil {
 		return Report{}, err
+	}
+	stats := trace.New()
+	var w *pgas.World
+	if backend == BackendNative {
+		w = pgas.NewNativeWorld(model, topo, stats)
+	} else {
+		w, err = pgas.NewWorld(sim.NewEnv(), model, topo, stats)
+		if err != nil {
+			return Report{}, err
+		}
 	}
 	end := w.Run(func(pim *pgas.Image) {
 		im := &Image{img: pim, w: w, pol: core.Policy{Level: level, Tuning: cfg.Tuning}}
 		im.stack = []*team.View{team.Initial(w, pim)}
 		body(im)
 	})
-	return Report{Elapsed: end, Stats: stats.Snapshot(), Images: w.NumImages()}, nil
+	return Report{Elapsed: end, Stats: stats.Snapshot(), Images: w.NumImages(), Backend: backend}, nil
 }
 
 // view returns the current team view (innermost change-team block).
@@ -188,14 +233,16 @@ func (im *Image) GlobalImage() int { return im.img.Rank() + 1 }
 // Node returns the physical node hosting this image (for inspection).
 func (im *Image) Node() int { return im.img.Node() }
 
-// Now returns the current simulated time in nanoseconds.
-func (im *Image) Now() sim.Time { return im.img.Now() }
+// Now returns the current time in nanoseconds (simulated, or wall-clock
+// since launch on the native backend).
+func (im *Image) Now() pgas.Time { return im.img.Now() }
 
 // Compute charges flops floating-point operations of local compute time.
 func (im *Image) Compute(flops float64) { im.img.Compute(flops) }
 
-// Sleep advances this image by d simulated nanoseconds.
-func (im *Image) Sleep(d sim.Time) { im.img.Sleep(d) }
+// Sleep advances this image by d nanoseconds (slept for real on the native
+// backend).
+func (im *Image) Sleep(d pgas.Time) { im.img.Sleep(d) }
 
 // SyncAll synchronizes the current team (CAF "sync all", and "sync team"
 // when inside a change-team block), dispatched through the hierarchy

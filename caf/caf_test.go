@@ -248,11 +248,13 @@ func TestRunFlatVsTwoLevelPerformance(t *testing.T) {
 			im.SyncAll()
 		}
 	}
-	two, err := Run(Config{Spec: "64(8)"}, body)
+	// Pinned to the sim backend: the assertion is about the machine
+	// model's timing, not wall-clock scheduling noise.
+	two, err := Run(Config{Spec: "64(8)", Backend: BackendSim}, body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	flat, err := RunFlat(Config{Spec: "64(8)"}, body)
+	flat, err := RunFlat(Config{Spec: "64(8)", Backend: BackendSim}, body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,11 +269,12 @@ func TestConduitSelection(t *testing.T) {
 			im.SyncAll()
 		}
 	}
-	rdma, err := RunFlat(Config{Spec: "16(2)", Conduit: machine.ConduitGASNetRDMA}, body)
+	// Pinned to the sim backend: conduit costs only exist in the model.
+	rdma, err := RunFlat(Config{Spec: "16(2)", Conduit: machine.ConduitGASNetRDMA, Backend: BackendSim}, body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	am, err := RunFlat(Config{Spec: "16(2)", Conduit: machine.ConduitGASNetAM}, body)
+	am, err := RunFlat(Config{Spec: "16(2)", Conduit: machine.ConduitGASNetAM, Backend: BackendSim}, body)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	teamsbench [-exp e1|e2|e3|e4|e6|e7|all] [-iters N] [-csv]
+//	teamsbench [-exp e1|e2|e3|e4|e6|e7|all] [-backend sim|native] [-iters N] [-csv]
 //	teamsbench -alg list
 //	teamsbench -alg all [-algspecs 64(8),352(44)] [-elems N] [-iters N] [-csv]
 //	teamsbench -alg allreduce [-algspecs ...]        # every allreduce algorithm
@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,10 +42,13 @@ func main() {
 	alg := flag.String("alg", "", `sweep the algorithm registry: "list", "all", a kind ("allreduce"), or comma-separated "kind/name" entries`)
 	algspecs := flag.String("algspecs", "16(4),64(8),352(44)", "comma-separated placements for -alg sweeps")
 	elems := flag.Int("elems", 128, "vector elements for -alg sweeps of data collectives")
+	backendFlag := flag.String("backend", "sim", `execution backend: "sim" (modeled cluster, simulated microseconds) or "native" (real goroutines, wall-clock microseconds)`)
+	benchOut := flag.String("bench-out", "", "with -alg: also write a JSON snapshot of the sweep to this file (BENCH_native.json shape)")
 	flag.Parse()
+	backend = *backendFlag
 
 	if *alg != "" {
-		if err := runAlgSweep(*alg, *algspecs, *elems, *iters, *csv); err != nil {
+		if err := runAlgSweep(*alg, *algspecs, *elems, *iters, *csv, backend, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "teamsbench:", err)
 			os.Exit(1)
 		}
@@ -73,9 +77,20 @@ func main() {
 	run("e7", e7, "E7: multi-level extension — socket-aware 3-level barrier (paper future work)", "2-level (TDLB)")
 }
 
-// runAlgSweep measures named registry algorithms across placements. sel is
-// "list", "all", a bare kind name, or comma-separated "kind/name" entries.
-func runAlgSweep(sel, specs string, elems, iters int, csv bool) error {
+// backend is the execution substrate every measurement runs on, set from
+// the -backend flag ("sim" unless overridden).
+var backend = "sim"
+
+// measure runs one comparator on the selected backend.
+func measure(spec string, c bench.Comparator, elems, iters int) (bench.Point, error) {
+	return bench.MeasureBackend(spec, backend, c, elems, iters)
+}
+
+// runAlgSweep measures named registry algorithms across placements on the
+// given backend. sel is "list", "all", a bare kind name, or comma-separated
+// "kind/name" entries. A non-empty jsonOut additionally writes the sweep as
+// a JSON snapshot (the BENCH_native.json shape).
+func runAlgSweep(sel, specs string, elems, iters int, csv bool, backend, jsonOut string) error {
 	if sel == "list" {
 		for _, k := range core.Kinds() {
 			fmt.Printf("%-10s %s\n", k, strings.Join(core.Algorithms(k), " "))
@@ -121,6 +136,14 @@ func runAlgSweep(sel, specs string, elems, iters int, csv bool) error {
 		}
 	}
 	var csvPts []bench.Point // accumulated across kinds: one header, one block
+	snap := sweepSnapshot{
+		Bench:   "teams-alg-sweep",
+		Backend: backend,
+		Specs:   specs,
+		Elems:   elems,
+		Iters:   iters,
+		Kinds:   map[string][]sweepEntry{},
+	}
 	for _, k := range order {
 		cmps := byKind[k]
 		n := elems
@@ -134,25 +157,61 @@ func runAlgSweep(sel, specs string, elems, iters int, csv bool) error {
 				continue
 			}
 			for _, c := range cmps {
-				p, err := bench.Measure(spec, c, n, iters)
+				p, err := bench.MeasureBackend(spec, backend, c, n, iters)
 				if err != nil {
 					return err
 				}
 				pts = append(pts, p)
+				snap.Kinds[k.String()] = append(snap.Kinds[k.String()], sweepEntry{
+					Alg:       p.Comparator,
+					Spec:      p.Spec,
+					UsPerOp:   float64(p.Latency) / 1000,
+					IntraMsgs: p.IntraMsgs,
+					InterMsgs: p.InterMsgs,
+				})
 			}
 		}
-		if csv {
+		if !csv {
+			title := fmt.Sprintf("registry sweep: %s (%d elems, %s backend)", k, n, backend)
+			bench.Table(os.Stdout, title, pts, cmps[0].Name)
+			fmt.Println()
+		} else {
 			csvPts = append(csvPts, pts...)
-			continue
 		}
-		title := fmt.Sprintf("registry sweep: %s (%d elems)", k, n)
-		bench.Table(os.Stdout, title, pts, cmps[0].Name)
-		fmt.Println()
 	}
 	if csv {
 		bench.CSV(os.Stdout, csvPts)
 	}
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// sweepSnapshot is the -bench-out JSON document: sweep parameters plus
+// per-kind measured points. On the native backend us_per_op is wall-clock
+// and varies run to run; on sim it is deterministic modeled time.
+type sweepSnapshot struct {
+	Bench   string                  `json:"bench"`
+	Backend string                  `json:"backend"`
+	Specs   string                  `json:"specs"`
+	Elems   int                     `json:"elems"`
+	Iters   int                     `json:"iters"`
+	Kinds   map[string][]sweepEntry `json:"kinds"`
+}
+
+type sweepEntry struct {
+	Alg       string  `json:"alg"`
+	Spec      string  `json:"spec"`
+	UsPerOp   float64 `json:"us_per_op"`
+	IntraMsgs int64   `json:"intra_msgs"`
+	InterMsgs int64   `json:"inter_msgs"`
 }
 
 func must(p bench.Point, err error) bench.Point {
@@ -172,7 +231,7 @@ func overlap(iters int) []bench.Point {
 	for _, spec := range []string{"16(2)", "64(8)", "352(44)"} {
 		for _, alg := range []string{"2level", "rd"} {
 			for _, c := range bench.OverlapComparators(alg, flops) {
-				pts = append(pts, must(bench.Measure(spec, c, 128, iters)))
+				pts = append(pts, must(measure(spec, c, 128, iters)))
 			}
 		}
 	}
@@ -186,7 +245,7 @@ func e1(iters int) []bench.Point {
 	for _, spec := range []string{"4(4)", "8(8)", "16(16)", "32(32)", "44(44)"} {
 		for _, c := range cmps {
 			if c.Name == "TDLB (2-level)" || c.Name == "GASNet RDMA dissemination" {
-				pts = append(pts, must(bench.Measure(spec, c, 1, iters)))
+				pts = append(pts, must(measure(spec, c, 1, iters)))
 			}
 		}
 	}
@@ -198,7 +257,7 @@ func e2(iters int) []bench.Point {
 	var pts []bench.Point
 	for _, spec := range []string{"16(2)", "64(8)", "128(16)", "256(32)", "352(44)"} {
 		for _, c := range bench.Comparators(bench.Barrier) {
-			pts = append(pts, must(bench.Measure(spec, c, 1, iters)))
+			pts = append(pts, must(measure(spec, c, 1, iters)))
 		}
 	}
 	return pts
@@ -209,7 +268,7 @@ func e3(iters int) []bench.Point {
 	for _, spec := range []string{"64(8)", "352(44)"} {
 		for _, elems := range []int{8, 128, 1024} {
 			for _, c := range bench.Comparators(bench.Reduce) {
-				p := must(bench.Measure(spec, c, elems, iters))
+				p := must(measure(spec, c, elems, iters))
 				p.Comparator = fmt.Sprintf("%s [%d elems]", p.Comparator, elems)
 				pts = append(pts, p)
 			}
@@ -223,7 +282,7 @@ func e4(iters int) []bench.Point {
 	for _, spec := range []string{"64(8)", "352(44)"} {
 		for _, elems := range []int{8, 128, 1024} {
 			for _, c := range bench.Comparators(bench.Bcast) {
-				p := must(bench.Measure(spec, c, elems, iters))
+				p := must(measure(spec, c, elems, iters))
 				p.Comparator = fmt.Sprintf("%s [%d elems]", p.Comparator, elems)
 				pts = append(pts, p)
 			}
@@ -275,7 +334,7 @@ func e6(iters int) []bench.Point {
 	var pts []bench.Point
 	for _, spec := range []string{"64(8)", "352(44)"} {
 		for _, c := range strategies {
-			pts = append(pts, must(bench.Measure(spec, c, 1, iters)))
+			pts = append(pts, must(measure(spec, c, 1, iters)))
 		}
 	}
 	return pts
@@ -306,7 +365,7 @@ func e7(iters int) []bench.Point {
 	var pts []bench.Point
 	for _, spec := range []string{"64(8)", "176(22)", "352(44)"} {
 		for _, c := range levels {
-			pts = append(pts, must(bench.Measure(spec, c, 1, iters)))
+			pts = append(pts, must(measure(spec, c, 1, iters)))
 		}
 	}
 	return pts

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
+
+	"cafteams/internal/bench"
+	"cafteams/internal/core"
 )
 
 // captureStdout runs fn with os.Stdout redirected to a pipe and returns
@@ -42,7 +46,7 @@ func captureStdout(t *testing.T, fn func()) string {
 // registry names, including the split-phase entries.
 func TestAlgSweepList(t *testing.T) {
 	out := captureStdout(t, func() {
-		if err := runAlgSweep("list", "", 8, 1, false); err != nil {
+		if err := runAlgSweep("list", "", 8, 1, false, "sim", ""); err != nil {
 			t.Errorf("alg list: %v", err)
 		}
 	})
@@ -57,7 +61,7 @@ func TestAlgSweepList(t *testing.T) {
 // requested algorithms.
 func TestAlgSweepMeasures(t *testing.T) {
 	out := captureStdout(t, func() {
-		if err := runAlgSweep("allreduce/rd,allreduce/nb-rd,barrier/tdlb", "8(2)", 4, 1, false); err != nil {
+		if err := runAlgSweep("allreduce/rd,allreduce/nb-rd,barrier/tdlb", "8(2)", 4, 1, false, "sim", ""); err != nil {
 			t.Errorf("alg sweep: %v", err)
 		}
 	})
@@ -72,7 +76,7 @@ func TestAlgSweepMeasures(t *testing.T) {
 // (spec, comparator).
 func TestAlgSweepCSV(t *testing.T) {
 	out := captureStdout(t, func() {
-		if err := runAlgSweep("bcast/nb-2level", "8(2)", 4, 1, true); err != nil {
+		if err := runAlgSweep("bcast/nb-2level", "8(2)", 4, 1, true, "sim", ""); err != nil {
 			t.Errorf("alg csv sweep: %v", err)
 		}
 	})
@@ -83,18 +87,18 @@ func TestAlgSweepCSV(t *testing.T) {
 
 // TestAlgSweepRejectsUnknown pins the error path.
 func TestAlgSweepRejectsUnknown(t *testing.T) {
-	if err := runAlgSweep("allreduce/no-such-alg", "8(2)", 4, 1, false); err == nil {
+	if err := runAlgSweep("allreduce/no-such-alg", "8(2)", 4, 1, false, "sim", ""); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if err := runAlgSweep("nokind/rd", "8(2)", 4, 1, false); err == nil {
+	if err := runAlgSweep("nokind/rd", "8(2)", 4, 1, false, "sim", ""); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 	// "auto" and "" are Tuning selection rules, not sweepable algorithms;
 	// they used to panic mid-measurement instead of erroring up front.
-	if err := runAlgSweep("allreduce/auto", "8(2)", 4, 1, false); err == nil {
+	if err := runAlgSweep("allreduce/auto", "8(2)", 4, 1, false, "sim", ""); err == nil {
 		t.Fatal("allreduce/auto accepted")
 	}
-	if err := runAlgSweep("allreduce/", "8(2)", 4, 1, false); err == nil {
+	if err := runAlgSweep("allreduce/", "8(2)", 4, 1, false, "sim", ""); err == nil {
 		t.Fatal("empty algorithm name accepted")
 	}
 }
@@ -122,5 +126,48 @@ func TestExperimentTables(t *testing.T) {
 			t.Fatalf("overlap table: %q (%d ns) not faster than %q (%d ns)",
 				ov[i+1].Comparator, ov[i+1].Latency, ov[i].Comparator, ov[i].Latency)
 		}
+	}
+}
+
+// TestAlgSweepNativeBackend: the -backend=native path runs a small shape on
+// real goroutines; the table must render with positive wall-clock timings.
+func TestAlgSweepNativeBackend(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := runAlgSweep("barrier/tdlb,allreduce/2level", "8(2)", 4, 2, false, "native", ""); err != nil {
+			t.Errorf("native sweep: %v", err)
+		}
+	})
+	for _, want := range []string{"native backend", "barrier/tdlb", "allreduce/2level", "latency/op"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("native sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// Wall-clock latencies must be strictly positive in every table cell.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, " us ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if f == "us" && i > 0 {
+				var v float64
+				if _, err := fmt.Sscanf(fields[i-1], "%f", &v); err != nil || v <= 0 {
+					t.Fatalf("non-positive native latency in line %q", line)
+				}
+			}
+		}
+	}
+}
+
+// TestNativeExperimentPoint: one experiment-style measurement on the native
+// backend yields positive wall-clock latency.
+func TestNativeExperimentPoint(t *testing.T) {
+	cmps := bench.RegistryComparators(core.KindBarrier)
+	p, err := bench.MeasureBackend("4(2)", "native", cmps[0], 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Latency <= 0 {
+		t.Fatalf("native point has non-positive latency: %+v", p)
 	}
 }

@@ -264,28 +264,47 @@ func OverlapComparators(alg string, flops float64) []Comparator {
 	}
 }
 
-// Point is one measured cell: mean latency per episode.
+// Point is one measured cell: mean latency per episode (simulated
+// nanoseconds on the sim backend, wall-clock nanoseconds on native).
 type Point struct {
 	Spec       string
 	Comparator string
 	Elems      int
-	Latency    sim.Time
+	Latency    pgas.Time
 	IntraMsgs  int64
 	InterMsgs  int64
 }
 
-// Measure runs one comparator on one placement and returns the mean
-// episode latency and message counts per episode.
+// Measure runs one comparator on one placement on the sim backend and
+// returns the mean episode latency and message counts per episode.
 func Measure(spec string, cmp Comparator, elems, iters int) (Point, error) {
+	return MeasureBackend(spec, "sim", cmp, elems, iters)
+}
+
+// MeasureBackend is Measure on a chosen execution substrate: "sim" (or "")
+// measures simulated time on the modeled cluster; "native" runs the same
+// comparator on real goroutines and measures wall-clock time, so the same
+// sweep reports both modeled and real microseconds. Native latencies carry
+// scheduling noise — treat them as ground truth for calibration, not as
+// deterministic values.
+func MeasureBackend(spec, backend string, cmp Comparator, elems, iters int) (Point, error) {
 	topo, err := topology.ParseSpec(spec)
 	if err != nil {
 		return Point{}, err
 	}
 	model := machine.PaperCluster().WithConduit(cmp.Conduit)
 	stats := trace.New()
-	w, err := pgas.NewWorld(sim.NewEnv(), model, topo, stats)
-	if err != nil {
-		return Point{}, err
+	var w *pgas.World
+	switch backend {
+	case "", "sim":
+		w, err = pgas.NewWorld(sim.NewEnv(), model, topo, stats)
+		if err != nil {
+			return Point{}, err
+		}
+	case "native":
+		w = pgas.NewNativeWorld(model, topo, stats)
+	default:
+		return Point{}, fmt.Errorf("bench: unknown backend %q (want \"sim\" or \"native\")", backend)
 	}
 	end := w.Run(func(im *pgas.Image) {
 		v := team.Initial(w, im)
@@ -297,7 +316,7 @@ func Measure(spec string, cmp Comparator, elems, iters int) (Point, error) {
 		Spec:       spec,
 		Comparator: cmp.Name,
 		Elems:      elems,
-		Latency:    end / sim.Time(iters),
+		Latency:    end / pgas.Time(iters),
 		IntraMsgs:  sn.IntraMsgs / int64(iters),
 		InterMsgs:  sn.InterMsgs / int64(iters),
 	}, nil
@@ -319,7 +338,7 @@ func Table(w io.Writer, title string, points []Point, reference string) {
 	sort.SliceStable(specs, func(i, j int) bool { return false }) // preserve insertion order
 	for _, spec := range specs {
 		pts := bySpec[spec]
-		var ref sim.Time
+		var ref pgas.Time
 		for _, p := range pts {
 			if p.Comparator == reference {
 				ref = p.Latency

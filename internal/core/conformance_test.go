@@ -46,6 +46,11 @@ type confScenario struct {
 	// topologies produced by the cluster placement policies here.
 	label string
 	topo  *topology.Topology
+
+	// backend selects the execution substrate for world(): "" or "sim"
+	// builds a simulated world, "native" a real-goroutine world on the
+	// same logical topology (the cross-backend sweep runs both).
+	backend string
 }
 
 func (s confScenario) String() string {
@@ -64,6 +69,9 @@ func (s confScenario) world(t testing.TB) *pgas.World {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+	if s.backend == "native" {
+		return pgas.NewNativeWorld(machine.PaperCluster(), topo, trace.New())
 	}
 	w, err := pgas.NewWorld(sim.NewEnv(), machine.PaperCluster(), topo, trace.New())
 	if err != nil {
@@ -140,7 +148,7 @@ func runConformanceData(t *testing.T, sc confScenario, k Kind, name string, excl
 		rng := rand.New(rand.NewSource(sc.seed ^ int64(im.Rank()*2654435761)))
 		for ep := 0; ep < confEpisodes; ep++ {
 			// Random skew so no algorithm can rely on lockstep entry.
-			im.Sleep(sim.Time(rng.Intn(20000)))
+			im.Sleep(pgas.Time(rng.Intn(20000)))
 			root := confRoot(sc.seed, ep, n)
 			label := fmt.Sprintf("%s/%s/%s ep%d rank%d", sc, k, name, ep, v.Rank)
 			mine := confInput(sc.seed, 0, v.Rank, ep, elems)

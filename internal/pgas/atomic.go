@@ -3,7 +3,6 @@ package pgas
 import (
 	"fmt"
 
-	"cafteams/internal/sim"
 	"cafteams/internal/trace"
 )
 
@@ -59,98 +58,16 @@ func (op AtomicOp) apply(old, operand int64) int64 {
 // family. Local and intra-node targets use the node's memory system; remote
 // targets pay a network round trip.
 func (im *Image) FetchOpFlag(f *Flags, target, idx int, op AtomicOp, operand int64) int64 {
-	w := im.w
-	m := w.model
-	w.stats.Message(trace.OpAtomic, im.SameNode(target) && target != im.rank, target == im.rank, 8)
-	apply := func() int64 {
-		old := f.data[target][idx]
-		f.data[target][idx] = op.apply(old, operand)
-		f.cond[target].Wake(w.env)
-		w.wakeAsync(target)
-		return old
-	}
-	if target == im.rank {
-		im.proc.Sleep(m.AtomicShm)
-		return apply()
-	}
-	if im.SameNode(target) {
-		im.proc.Sleep(m.Shm.O)
-		start := w.membus[im.node].Occupy(im.Now(), m.AtomicShm)
-		im.proc.Sleep(start + m.AtomicShm - im.Now())
-		return apply()
-	}
-	deliver, _ := im.route(target, 8, ViaConduit)
-	var old int64
-	done := false
-	var c sim.Cond
-	im.deliverAt(deliver, func() { old = apply() })
-	dstNode := w.topo.NodeOf(target)
-	rdur := m.Net.G + m.Net.ByteTime(8)
-	rstart := w.nic[dstNode].Occupy(deliver, rdur)
-	back := rstart + rdur + m.Net.L
-	var at sim.Time
-	if m.RecvG == 0 {
-		at = back
-	} else {
-		bstart := w.nic[im.node].Occupy(back, m.RecvG)
-		at = bstart + m.RecvG
-	}
-	w.env.Schedule(at, func() {
-		done = true
-		c.Wake(w.env)
-	})
-	c.Wait(im.proc, "atomic "+op.String()+" response", func() bool { return done })
-	return old
+	im.w.stats.Message(trace.OpAtomic, im.SameNode(target) && target != im.rank, target == im.rank, 8)
+	return im.w.tr.FetchOp(im, f, target, idx, op, operand)
 }
 
 // CompareAndSwapFlag performs a blocking remote compare-and-swap on a flag
 // slot, returning the previous value (the CAF atomic_cas intrinsic). The
 // swap happened iff the return value equals expected.
 func (im *Image) CompareAndSwapFlag(f *Flags, target, idx int, expected, desired int64) int64 {
-	w := im.w
-	m := w.model
-	w.stats.Message(trace.OpAtomic, im.SameNode(target) && target != im.rank, target == im.rank, 16)
-	apply := func() int64 {
-		old := f.data[target][idx]
-		if old == expected {
-			f.data[target][idx] = desired
-			f.cond[target].Wake(w.env)
-			w.wakeAsync(target)
-		}
-		return old
-	}
-	if target == im.rank {
-		im.proc.Sleep(m.AtomicShm)
-		return apply()
-	}
-	if im.SameNode(target) {
-		im.proc.Sleep(m.Shm.O)
-		start := w.membus[im.node].Occupy(im.Now(), m.AtomicShm)
-		im.proc.Sleep(start + m.AtomicShm - im.Now())
-		return apply()
-	}
-	deliver, _ := im.route(target, 16, ViaConduit)
-	var old int64
-	done := false
-	var c sim.Cond
-	im.deliverAt(deliver, func() { old = apply() })
-	dstNode := w.topo.NodeOf(target)
-	rdur := m.Net.G + m.Net.ByteTime(8)
-	rstart := w.nic[dstNode].Occupy(deliver, rdur)
-	back := rstart + rdur + m.Net.L
-	var at sim.Time
-	if m.RecvG == 0 {
-		at = back
-	} else {
-		bstart := w.nic[im.node].Occupy(back, m.RecvG)
-		at = bstart + m.RecvG
-	}
-	w.env.Schedule(at, func() {
-		done = true
-		c.Wake(w.env)
-	})
-	c.Wait(im.proc, "cas response", func() bool { return done })
-	return old
+	im.w.stats.Message(trace.OpAtomic, im.SameNode(target) && target != im.rank, target == im.rank, 16)
+	return im.w.tr.CompareAndSwap(im, f, target, idx, expected, desired)
 }
 
 // Events is a symmetric array of counting events (Fortran 2018 event_type):
@@ -159,7 +76,8 @@ func (im *Image) CompareAndSwapFlag(f *Flags, target, idx int, expected, desired
 type Events struct {
 	f *Flags
 	// consumed[img][idx] counts how many posts image img has already
-	// waited for on event idx.
+	// waited for on event idx. Each image touches only its own row, so no
+	// synchronization is needed on either backend.
 	consumed [][]int64
 }
 

@@ -3,7 +3,6 @@ package pgas
 import (
 	"fmt"
 
-	"cafteams/internal/sim"
 	"cafteams/internal/trace"
 )
 
@@ -109,9 +108,23 @@ func (c *Coarray[T]) slab(rank int) []T {
 	return s
 }
 
-// Local returns this image's own slab for direct computation. No simulated
+// Local returns this image's own slab for direct computation. No transfer
 // cost is charged; local compute is charged separately via Image.Compute.
 func Local[T any](c *Coarray[T], im *Image) []T { return c.slab(im.rank) }
+
+// stageCommit builds the payload-landing closure for a one-sided write. A
+// transport whose Put commits synchronously inside the call (shared memory)
+// reads src directly; an asynchronous transport gets a staged copy so the
+// caller may reuse src immediately after Put returns — the usual
+// injection-buffer semantics.
+func stageCommit[T any](im *Image, dst []T, off int, src []T) func() {
+	if im.w.tr.Immediate() {
+		return func() { copy(dst[off:], src) }
+	}
+	buf := make([]T, len(src))
+	copy(buf, src)
+	return func() { copy(dst[off:], buf) }
+}
 
 // Put copies src into target's slab at offset off — the CAF assignment
 // "A(off:off+len)[target] = src". It is one-sided and non-blocking: the
@@ -123,14 +136,9 @@ func Put[T any](im *Image, c *Coarray[T], target, off int, src []T, via Via) {
 	if off < 0 || off+len(src) > len(dst) {
 		panic(fmt.Sprintf("pgas: put %q [%d:%d) outside [0:%d)", c.name, off, off+len(src), len(dst)))
 	}
-	buf := make([]T, len(src))
-	copy(buf, src)
 	nbytes := len(src) * c.elemSize
-	deliver, inter := im.route(target, nbytes, via)
-	im.w.stats.Message(trace.OpPut, !inter && target != im.rank, target == im.rank, nbytes)
-	im.deliverAt(deliver, func() {
-		copy(dst[off:], buf)
-	})
+	im.w.stats.Message(trace.OpPut, im.SameNode(target) && target != im.rank, target == im.rank, nbytes)
+	im.w.tr.Put(im, target, nbytes, im.resolveVia(target, via), stageCommit(im, dst, off, src))
 }
 
 // Get copies length len(dst) from target's slab at offset off into dst — the
@@ -141,44 +149,9 @@ func Get[T any](im *Image, c *Coarray[T], target, off int, dst []T) {
 	if off < 0 || off+len(dst) > len(src) {
 		panic(fmt.Sprintf("pgas: get %q [%d:%d) outside [0:%d)", c.name, off, off+len(dst), len(src)))
 	}
-	w := im.w
-	m := w.model
 	nbytes := len(dst) * c.elemSize
-	sameNode := im.SameNode(target)
-	im.w.stats.Message(trace.OpGet, sameNode && target != im.rank, target == im.rank, nbytes)
-	if target == im.rank {
-		im.proc.Sleep(m.MemTime(nbytes))
-		copy(dst, src[off:])
-		return
-	}
-	if sameNode {
-		// Direct shared-memory read.
-		im.proc.Sleep(m.Shm.O)
-		dur := m.Shm.G + m.Shm.ByteTime(nbytes)
-		start := w.membus[im.node].Occupy(im.Now(), dur)
-		im.proc.Sleep(start + dur + m.Shm.L - im.Now())
-		copy(dst, src[off:])
-		return
-	}
-	// Remote get: small request out, payload back.
-	im.proc.Sleep(m.Net.O)
-	now := im.Now()
-	reqDur := m.Net.G
-	reqStart := w.nic[im.node].Occupy(now, reqDur)
-	reqArrive := reqStart + reqDur + m.Net.L
-	dstNode := w.topo.NodeOf(target)
-	respDur := m.Net.G + m.Net.ByteTime(nbytes)
-	respStart := w.nic[dstNode].Occupy(reqArrive, respDur)
-	back := respStart + respDur + m.Net.L
-	bstart := w.nic[im.node].Occupy(back, m.Net.G)
-	done := false
-	var cnd sim.Cond
-	w.env.Schedule(bstart+m.Net.G, func() {
-		copy(dst, src[off:])
-		done = true
-		cnd.Wake(w.env)
-	})
-	cnd.Wait(im.proc, fmt.Sprintf("get %q from %d", c.name, target), func() bool { return done })
+	im.w.stats.Message(trace.OpGet, im.SameNode(target) && target != im.rank, target == im.rank, nbytes)
+	im.w.tr.Get(im, target, nbytes, func() { copy(dst, src[off:]) })
 }
 
 // PutThenNotify performs a Put followed by a flag notification to the same
@@ -190,22 +163,10 @@ func PutThenNotify[T any](im *Image, c *Coarray[T], target, off int, src []T, f 
 	if off < 0 || off+len(src) > len(dst) {
 		panic(fmt.Sprintf("pgas: put %q [%d:%d) outside [0:%d)", c.name, off, off+len(src), len(dst)))
 	}
-	buf := make([]T, len(src))
-	copy(buf, src)
 	nbytes := len(src) * c.elemSize
-	deliverData, inter := im.route(target, nbytes, via)
-	im.w.stats.Message(trace.OpPut, !inter && target != im.rank, target == im.rank, nbytes)
-	deliverFlag, _ := im.route(target, 8, via)
-	im.w.stats.Message(trace.OpNotify, !inter && target != im.rank, target == im.rank, 8)
-	if deliverFlag < deliverData {
-		deliverFlag = deliverData // ordered delivery per pair
-	}
-	im.deliverAt(deliverData, func() {
-		copy(dst[off:], buf)
-	})
-	im.deliverAt(deliverFlag, func() {
-		f.data[target][idx] += delta
-		f.cond[target].Wake(im.w.env)
-		im.w.wakeAsync(target)
-	})
+	shm := im.SameNode(target) && target != im.rank
+	im.w.stats.Message(trace.OpPut, shm, target == im.rank, nbytes)
+	im.w.stats.Message(trace.OpNotify, shm, target == im.rank, 8)
+	im.w.tr.PutThenNotify(im, target, nbytes, im.resolveVia(target, via),
+		stageCommit(im, dst, off, src), f, idx, delta)
 }

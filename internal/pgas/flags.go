@@ -2,8 +2,8 @@ package pgas
 
 import (
 	"fmt"
+	"sync/atomic"
 
-	"cafteams/internal/sim"
 	"cafteams/internal/trace"
 )
 
@@ -16,18 +16,26 @@ import (
 // never resets flags, it just raises the threshold, so one wait suffices and
 // late notifications from a previous episode can never be confused with the
 // current one.
+//
+// Flag cells are mutated exclusively through the sync/atomic helpers below,
+// on both backends. In the single-scheduler simulator the atomics are
+// value-identical to plain accesses; on the native backend they are what
+// makes a flag arrival a happens-before edge from the sender's payload
+// writes to any waiter that observes it (payload memcpy → atomic flag add →
+// waiter's atomic load → payload read), which is also what keeps the race
+// detector quiet about the payload copies themselves.
 type Flags struct {
 	w    *World
 	name string
 	data [][]int64
-	cond []sim.Cond
 }
 
 // NewFlags allocates a flags array with slots slots per image. Like a
-// coarray allocation this is logically collective; in the simulator the
-// first image to reach it creates the shared object (World.lookupOrCreate
-// makes this deterministic). Flags are always int64, so unlike coarrays the
-// name alone keys the allocation (no element-type component).
+// coarray allocation this is logically collective; the first image to reach
+// it creates the shared object (World.lookupOrCreate guarantees exactly one
+// creation per key even when native goroutines race to it). Flags are
+// always int64, so unlike coarrays the name alone keys the allocation (no
+// element-type component).
 func NewFlags(w *World, name string, slots int) *Flags {
 	if slots <= 0 {
 		panic(fmt.Sprintf("pgas: flags %q with %d slots", name, slots))
@@ -35,7 +43,6 @@ func NewFlags(w *World, name string, slots int) *Flags {
 	return w.lookupOrCreate("flags:"+name, func() interface{} {
 		f := &Flags{w: w, name: name}
 		f.data = make([][]int64, w.NumImages())
-		f.cond = make([]sim.Cond, w.NumImages())
 		for i := range f.data {
 			f.data[i] = make([]int64, slots)
 		}
@@ -51,19 +58,66 @@ func (f *Flags) Slots() int { return len(f.data[0]) }
 
 // Peek returns the current value of a slot without synchronization or cost;
 // for tests and local fast-path checks.
-func (f *Flags) Peek(owner, idx int) int64 { return f.data[owner][idx] }
+func (f *Flags) Peek(owner, idx int) int64 { return f.load(owner, idx) }
+
+// load/store/add/storeMax/fetchOp/compareAndSwap are the only accessors of
+// flag cells; see the type comment for why they are atomic on both backends.
+
+func (f *Flags) load(owner, idx int) int64 {
+	return atomic.LoadInt64(&f.data[owner][idx])
+}
+
+func (f *Flags) store(owner, idx int, val int64) {
+	atomic.StoreInt64(&f.data[owner][idx], val)
+}
+
+func (f *Flags) add(owner, idx int, delta int64) {
+	atomic.AddInt64(&f.data[owner][idx], delta)
+}
+
+// storeMax raises the cell to val if it is below (monotonic max).
+func (f *Flags) storeMax(owner, idx int, val int64) {
+	cell := &f.data[owner][idx]
+	for {
+		old := atomic.LoadInt64(cell)
+		if old >= val || atomic.CompareAndSwapInt64(cell, old, val) {
+			return
+		}
+	}
+}
+
+// fetchOp applies op atomically and returns the previous value.
+func (f *Flags) fetchOp(owner, idx int, op AtomicOp, operand int64) int64 {
+	cell := &f.data[owner][idx]
+	for {
+		old := atomic.LoadInt64(cell)
+		if atomic.CompareAndSwapInt64(cell, old, op.apply(old, operand)) {
+			return old
+		}
+	}
+}
+
+// compareAndSwap returns the previous value; the swap happened iff it
+// equals expected.
+func (f *Flags) compareAndSwap(owner, idx int, expected, desired int64) int64 {
+	cell := &f.data[owner][idx]
+	for {
+		old := atomic.LoadInt64(cell)
+		if old != expected {
+			return old
+		}
+		if atomic.CompareAndSwapInt64(cell, expected, desired) {
+			return expected
+		}
+	}
+}
 
 // NotifyAdd atomically adds delta to flag idx on image target, as a
 // non-blocking one-sided operation over the given path. The caller is
 // charged injection overhead only; delivery happens asynchronously.
 func (im *Image) NotifyAdd(f *Flags, target, idx int, delta int64, via Via) {
-	deliver, inter := im.route(target, 8, via)
-	im.w.stats.Message(trace.OpNotify, !inter && target != im.rank, target == im.rank, 8)
-	im.deliverAt(deliver, func() {
-		f.data[target][idx] += delta
-		f.cond[target].Wake(im.w.env)
-		im.w.wakeAsync(target)
-	})
+	im.w.stats.Message(trace.OpNotify, im.SameNode(target) && target != im.rank, target == im.rank, 8)
+	im.w.tr.NotifyAdd(im, f, target, idx, delta, im.resolveVia(target, via))
 }
 
 // NotifySet raises flag idx on image target to val if it is below val
@@ -74,23 +128,15 @@ func (im *Image) NotifyAdd(f *Flags, target, idx int, delta int64, via Via) {
 // keyed on "flag >= episode" would re-block or miss its wake-up. Use
 // SetLocal for an unconditional local store.
 func (im *Image) NotifySet(f *Flags, target, idx int, val int64, via Via) {
-	deliver, inter := im.route(target, 8, via)
-	im.w.stats.Message(trace.OpNotify, !inter && target != im.rank, target == im.rank, 8)
-	im.deliverAt(deliver, func() {
-		if f.data[target][idx] < val {
-			f.data[target][idx] = val
-		}
-		f.cond[target].Wake(im.w.env)
-		im.w.wakeAsync(target)
-	})
+	im.w.stats.Message(trace.OpNotify, im.SameNode(target) && target != im.rank, target == im.rank, 8)
+	im.w.tr.NotifySet(im, f, target, idx, val, im.resolveVia(target, via))
 }
 
 // SetLocal sets this image's own flag without modeling cost (a plain local
 // store).
 func (im *Image) SetLocal(f *Flags, idx int, val int64) {
-	f.data[im.rank][idx] = val
-	f.cond[im.rank].Wake(im.w.env)
-	im.w.wakeAsync(im.rank)
+	f.store(im.rank, idx, val)
+	im.w.tr.WakeRank(im.w, im.rank)
 }
 
 // WaitFlagGE blocks this image until flag idx on image owner is >= min.
@@ -101,8 +147,7 @@ func (im *Image) WaitFlagGE(f *Flags, owner, idx int, min int64) {
 	if owner != im.rank && !im.SameNode(owner) {
 		panic(fmt.Sprintf("pgas: image %d waits on flags of remote image %d", im.rank, owner))
 	}
-	f.cond[owner].Wait(im.proc, fmt.Sprintf("flag %s[%d][%d]>=%d", f.name, owner, idx, min),
-		func() bool { return f.data[owner][idx] >= min })
+	im.w.tr.WaitFlagGE(im, f, owner, idx, min)
 }
 
 // FetchAddFlag performs a blocking remote atomic fetch-and-add on a flag

@@ -3,23 +3,18 @@ package pgas
 import (
 	"fmt"
 
-	"cafteams/internal/sim"
 	"cafteams/internal/trace"
 )
 
 // Image is one SPMD execution unit (a "process" in MPI terms, an "image" in
 // Coarray Fortran terms). Image methods that move data or synchronize must
-// only be called from the image's own simulated process.
+// only be called from the image's own execution context (its simulated
+// process on the sim backend, its goroutine on the native backend).
 type Image struct {
 	w    *World
 	rank int
 	node int
-	proc *sim.Proc
-
-	// outstanding counts issued-but-undelivered one-sided operations;
-	// Quiet waits for it to reach zero.
-	outstanding int
-	quietCond   sim.Cond
+	ts   interface{} // backend-private state (*simImage on sim, nil on native)
 
 	// syncSent[p] counts sync-images notifications this image has sent to
 	// image p. The matching receive counters live in the world-level
@@ -28,10 +23,8 @@ type Image struct {
 	syncSent []int64
 
 	// pendingOps are the in-flight split-phase operations driven by this
-	// image's progress engine (see progress.go); asyncCond is woken by
-	// every flag delivery landing on this image.
+	// image's progress engine (see progress.go).
 	pendingOps []*AsyncOp
-	asyncCond  sim.Cond
 }
 
 // Rank returns the image's 0-based global rank. (Coarray Fortran numbers
@@ -45,11 +38,8 @@ func (im *Image) Node() int { return im.node }
 // World returns the world this image belongs to.
 func (im *Image) World() *World { return im.w }
 
-// Proc returns the simulated process, for direct sleeps in tests.
-func (im *Image) Proc() *sim.Proc { return im.proc }
-
-// Now returns the current simulated time.
-func (im *Image) Now() sim.Time { return im.proc.Now() }
+// Now returns the current time (simulated, or wall-clock since world start).
+func (im *Image) Now() Time { return im.w.tr.Now(im) }
 
 // SameNode reports whether the target image shares this image's node.
 func (im *Image) SameNode(target int) bool { return im.w.topo.SameNode(im.rank, target) }
@@ -65,83 +55,36 @@ func (im *Image) Compute(flops float64) {
 }
 
 // MemWork charges local memory traffic (packing, reduction combining) of n
-// bytes to this image.
+// bytes to this image. On the native backend this is a no-op: the copies it
+// accounts for in the simulator happen for real there.
 func (im *Image) MemWork(n int) {
-	im.proc.Sleep(im.w.model.MemTime(n))
+	im.w.tr.MemWork(im, n)
 }
 
-// Sleep advances this image by d simulated nanoseconds.
-func (im *Image) Sleep(d sim.Time) { im.proc.Sleep(d) }
+// Sleep advances this image by d nanoseconds.
+func (im *Image) Sleep(d Time) { im.w.tr.Sleep(im, d) }
 
-// route computes the delivery time of a message of n payload bytes from this
-// image to target over the given path, charging the sender's CPU overhead
-// (which blocks the caller) and occupying the serializing resources. It
-// returns the simulated delivery time and whether it crossed nodes.
-func (im *Image) route(target int, n int, via Via) (deliver sim.Time, inter bool) {
-	w := im.w
-	m := w.model
-	dstNode := w.topo.NodeOf(target)
-	sameNode := dstNode == im.node
+// resolveVia turns ViaAuto into the concrete path for target and enforces
+// that the shared-memory path never crosses nodes, matching what real
+// hardware permits. Transports receive only resolved paths.
+func (im *Image) resolveVia(target int, via Via) Via {
+	sameNode := im.SameNode(target)
 	if via == ViaAuto {
 		if sameNode {
-			via = ViaShm
-		} else {
-			via = ViaConduit
+			return ViaShm
 		}
+		return ViaConduit
 	}
 	if via == ViaShm && !sameNode {
 		panic(fmt.Sprintf("pgas: image %d used shared-memory path to image %d on another node", im.rank, target))
 	}
-	switch {
-	case via == ViaShm:
-		// Direct load/store path within the node.
-		im.proc.Sleep(m.Shm.O)
-		now := im.Now()
-		dur := m.Shm.G + m.Shm.ByteTime(n)
-		start := w.membus[im.node].Occupy(now, dur)
-		return start + dur + m.Shm.L, false
-	case sameNode:
-		// Conduit loopback: the portable path does not know the target
-		// is local; the message serializes through the node's conduit
-		// progress engine at an inflated occupancy (software handling
-		// plus flag-polling coherence traffic).
-		im.proc.Sleep(m.Net.O)
-		now := im.Now()
-		dur := m.LoopbackG + m.Shm.ByteTime(n)
-		start := w.progress[im.node].Occupy(now, dur)
-		return start + dur + m.Shm.L, false
-	default:
-		// Inter-node: sender NIC injection, wire, receiver NIC (the
-		// receive-side occupancy is zero for pure RDMA-write conduits).
-		im.proc.Sleep(m.Net.O)
-		now := im.Now()
-		sdur := m.Net.G + m.Net.ByteTime(n)
-		start := w.nic[im.node].Occupy(now, sdur)
-		arrive := start + sdur + m.Net.L
-		if m.RecvG == 0 {
-			return arrive, true
-		}
-		rstart := w.nic[dstNode].Occupy(arrive, m.RecvG)
-		return rstart + m.RecvG, true
-	}
-}
-
-// deliverAt schedules fn at time t and tracks the operation for Quiet.
-func (im *Image) deliverAt(t sim.Time, fn func()) {
-	im.outstanding++
-	im.w.env.Schedule(t, func() {
-		fn()
-		im.outstanding--
-		if im.outstanding == 0 {
-			im.quietCond.Wake(im.w.env)
-		}
-	})
+	return via
 }
 
 // Quiet blocks until every one-sided operation issued by this image has been
 // delivered (the CAF "sync memory" / GASNet quiet semantics).
 func (im *Image) Quiet() {
-	im.quietCond.Wait(im.proc, "quiet", func() bool { return im.outstanding == 0 })
+	im.w.tr.Quiet(im)
 }
 
 // syncFlags returns the world-level sync-images counters: slot p of image

@@ -1,0 +1,184 @@
+package pgas
+
+import (
+	"sync"
+	"time"
+
+	"cafteams/internal/machine"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// This file is the native shared-memory transport: images run as real
+// goroutines in this process's address space. A put or get is a memcpy
+// committed synchronously in the caller; flag notifications are sync/atomic
+// mutations followed by a condition-variable broadcast to the owner rank's
+// waiters; Sleep/Compute burn real wall-clock time (the modeled durations,
+// slept for real); MemWork and Quiet are no-ops because the work they
+// account for in the simulator either happens for real inline or has
+// already completed by the time the call returns.
+//
+// The memory model leans entirely on the flag discipline the algorithms
+// already follow: a payload write is published by the atomic flag increment
+// that follows it (PutThenNotify / NotifyAdd), and the consumer's atomic
+// threshold check in WaitFlagGE acquires it before touching the payload.
+// That is the same release/acquire chain a real one-sided runtime provides,
+// and it is what makes the Go race detector meaningful over this backend.
+
+// nativeWorld is the native backend's per-world state.
+type nativeWorld struct {
+	start time.Time
+	cells []*nativeCell // per rank
+	wg    sync.WaitGroup
+}
+
+// nativeCell guards rank r's flag waiters. Waits hold mu across the
+// predicate check and cond.Wait; wakers take (and release) mu before
+// broadcasting, so a mutation between a waiter's failed predicate check and
+// its Wait cannot be lost — the waker's Lock blocks until the waiter is
+// parked.
+type nativeCell struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func nativeW(w *World) *nativeWorld { return w.ts.(*nativeWorld) }
+
+// NewNativeWorld creates a world whose images run as real goroutines on
+// this machine, with wall-clock timing. model is still consulted for
+// Compute/Sleep durations (slept for real); topo still defines the
+// image-to-node map the hierarchy-aware algorithms key their phase
+// structure on — on the native backend "nodes" are logical groups within
+// one address space, the shape the paper's two-level algorithms exploit.
+func NewNativeWorld(model *machine.Model, topo *topology.Topology, stats *trace.Stats) *World {
+	w := newWorld(nativeTransport{}, model, topo, stats)
+	nw := &nativeWorld{cells: make([]*nativeCell, topo.NumImages())}
+	for i := range nw.cells {
+		c := &nativeCell{}
+		c.cond = sync.NewCond(&c.mu)
+		nw.cells[i] = c
+	}
+	w.ts = nw
+	return w
+}
+
+// nativeTransport implements Transport on real goroutines.
+type nativeTransport struct{}
+
+func (nativeTransport) Name() string { return "native" }
+
+// Immediate reports true: native puts commit inside the call, so Put may
+// read the caller's buffer directly with no staging copy.
+func (nativeTransport) Immediate() bool { return true }
+
+func (nativeTransport) Launch(w *World, body func(*Image)) {
+	nw := nativeW(w)
+	nw.start = time.Now()
+	nw.wg.Add(len(w.images))
+	for _, img := range w.images {
+		img := img
+		go func() {
+			defer nw.wg.Done()
+			body(img)
+		}()
+	}
+}
+
+func (nativeTransport) Drive(w *World) Time {
+	nw := nativeW(w)
+	nw.wg.Wait()
+	return time.Since(nw.start).Nanoseconds()
+}
+
+func (nativeTransport) Now(im *Image) Time {
+	return time.Since(nativeW(im.w).start).Nanoseconds()
+}
+
+func (nativeTransport) Sleep(im *Image, d Time) {
+	if d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// MemWork is a no-op: the packing/combining copies it accounts for in the
+// simulator happen for real on this backend.
+func (nativeTransport) MemWork(im *Image, nbytes int) {}
+
+// Quiet is a no-op: every one-sided operation committed before returning.
+func (nativeTransport) Quiet(im *Image) {}
+
+// wake broadcasts to rank's flag waiters after a flag mutation. Taking and
+// releasing the cell lock first orders the broadcast after any in-progress
+// predicate check (see nativeCell).
+func (nw *nativeWorld) wake(rank int) {
+	c := nw.cells[rank]
+	c.mu.Lock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (nativeTransport) Put(im *Image, target, nbytes int, via Via, commit func()) {
+	commit()
+}
+
+func (nativeTransport) Get(im *Image, target, nbytes int, commit func()) {
+	commit()
+}
+
+func (nativeTransport) PutThenNotify(im *Image, target, nbytes int, via Via, commit func(), f *Flags, idx int, delta int64) {
+	commit()
+	f.add(target, idx, delta)
+	nativeW(im.w).wake(target)
+}
+
+func (nativeTransport) NotifyAdd(im *Image, f *Flags, target, idx int, delta int64, via Via) {
+	f.add(target, idx, delta)
+	nativeW(im.w).wake(target)
+}
+
+func (nativeTransport) NotifySet(im *Image, f *Flags, target, idx int, val int64, via Via) {
+	f.storeMax(target, idx, val)
+	nativeW(im.w).wake(target)
+}
+
+func (nativeTransport) FetchOp(im *Image, f *Flags, target, idx int, op AtomicOp, operand int64) int64 {
+	old := f.fetchOp(target, idx, op, operand)
+	nativeW(im.w).wake(target)
+	return old
+}
+
+func (nativeTransport) CompareAndSwap(im *Image, f *Flags, target, idx int, expected, desired int64) int64 {
+	old := f.compareAndSwap(target, idx, expected, desired)
+	if old == expected {
+		nativeW(im.w).wake(target)
+	}
+	return old
+}
+
+func (nativeTransport) WaitFlagGE(im *Image, f *Flags, owner, idx int, min int64) {
+	c := nativeW(im.w).cells[owner]
+	c.mu.Lock()
+	for f.load(owner, idx) < min {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+func (nativeTransport) WaitAsync(im *Image, ready func() bool) {
+	c := nativeW(im.w).cells[im.rank]
+	c.mu.Lock()
+	for !ready() {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+func (nativeTransport) WakeRank(w *World, rank int) {
+	nativeW(w).wake(rank)
+}
+
+// compile-time interface checks for both transports.
+var (
+	_ Transport = simTransport{}
+	_ Transport = nativeTransport{}
+)

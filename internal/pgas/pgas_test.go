@@ -644,8 +644,8 @@ func TestPerPairDeliveryOrdered(t *testing.T) {
 				if im.Rank() == 0 {
 					for k := int64(1); k <= 20; k++ {
 						k := k
-						deliver, _ := im.route(target, 8, via)
-						im.deliverAt(deliver, func() { order = append(order, k) })
+						deliver := route(im, target, 8, via)
+						deliverAt(im, deliver, func() { order = append(order, k) })
 					}
 				}
 			})

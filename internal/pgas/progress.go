@@ -1,9 +1,5 @@
 package pgas
 
-import (
-	"cafteams/internal/sim"
-)
-
 // This file implements the per-image progress engine behind split-phase
 // (non-blocking) collectives: an image initiates an operation, gets back an
 // AsyncOp handle, and the operation's state machine is advanced — without
@@ -117,9 +113,10 @@ func (im *Image) Progress() int {
 func (im *Image) Pending() int { return len(im.pendingOps) }
 
 // awaitAsyncActivity blocks the image until some in-flight operation's
-// blocked condition is satisfied. The asyncCond is woken by every flag
-// delivery landing on this image's row (see wakeAsync callers), so the wait
-// cannot miss an arrival regardless of which flags array it lands in.
+// blocked condition is satisfied. The transport re-evaluates readiness
+// whenever a flag delivery lands on this image's rows (every flag-mutating
+// path wakes the owner rank), so the wait cannot miss an arrival regardless
+// of which flags array it lands in.
 func (im *Image) awaitAsyncActivity() {
 	ready := func() bool {
 		for _, h := range im.pendingOps {
@@ -127,41 +124,35 @@ func (im *Image) awaitAsyncActivity() {
 				return true
 			}
 			f, idx, min := h.op.Blocked()
-			if f.Peek(im.rank, idx) >= min {
+			if f.load(im.rank, idx) >= min {
 				return true
 			}
 		}
 		return false
 	}
-	im.asyncCond.Wait(im.proc, "async progress", ready)
-}
-
-// wakeAsync wakes rank's progress engine after a flag delivery. Called from
-// scheduler context by every flag-mutating delivery path.
-func (w *World) wakeAsync(rank int) {
-	w.images[rank].asyncCond.Wake(w.env)
+	im.w.tr.WaitAsync(im, ready)
 }
 
 // progressQuantum is how often Image.Compute polls the progress engine while
 // split-phase operations are in flight: roughly one network latency, small
 // enough that a collective round is picked up promptly, large enough that
 // polling stays a few percent of compute time.
-const progressQuantum = 2 * sim.Microsecond
+const progressQuantum = 2 * Microsecond
 
 // computeSleep advances local compute time, interleaving progress polls
 // while split-phase operations are in flight. With nothing pending it is a
 // single plain sleep (identical timing to the pre-async runtime).
-func (im *Image) computeSleep(d sim.Time) {
+func (im *Image) computeSleep(d Time) {
 	for d > 0 && len(im.pendingOps) > 0 {
 		q := progressQuantum
 		if q > d {
 			q = d
 		}
-		im.proc.Sleep(q)
+		im.w.tr.Sleep(im, q)
 		d -= q
 		im.Progress()
 	}
 	if d > 0 {
-		im.proc.Sleep(d)
+		im.w.tr.Sleep(im, d)
 	}
 }

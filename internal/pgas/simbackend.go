@@ -1,0 +1,380 @@
+package pgas
+
+import (
+	"fmt"
+
+	"cafteams/internal/cluster"
+	"cafteams/internal/machine"
+	"cafteams/internal/sim"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// This file is the discrete-event simulation transport: images execute as
+// simulated processes (internal/sim), every remote operation is charged
+// through the machine model (internal/machine), and traffic serializes
+// through the per-node resources owned by a cluster.Cluster:
+//
+//   - nic[n]: the node's network interface; all inter-node messages occupy
+//     it on both the sending and receiving side (LogGP gap).
+//   - progress[n]: the conduit's software progress engine; intra-node
+//     messages sent through the portable conduit path serialize through it —
+//     the paper's "on a shared memory system, in the worst case, all those
+//     notifications would have to be serialized".
+//   - membus[n]: the shared-memory path used by hierarchy-aware algorithms
+//     for peers they know to be on the same node; far cheaper.
+
+// simWorld is the sim backend's per-world state.
+type simWorld struct {
+	hw       *cluster.Cluster
+	env      *sim.Env
+	nic      []*sim.Resource // per node (aliases hw's resources)
+	progress []*sim.Resource // per node, conduit software path
+	membus   []*sim.Resource // per node, shared-memory path
+
+	// rowCond[r] is woken by every flag mutation landing on rank r's rows
+	// (any flags array): it serves both WaitFlagGE waiters and the rank's
+	// split-phase progress engine.
+	rowCond []sim.Cond
+}
+
+// simImage is the sim backend's per-image state.
+type simImage struct {
+	proc *sim.Proc
+
+	// outstanding counts issued-but-undelivered one-sided operations;
+	// Quiet waits for it to reach zero.
+	outstanding int
+	quietCond   sim.Cond
+}
+
+func simW(w *World) *simWorld  { return w.ts.(*simWorld) }
+func simI(im *Image) *simImage { return im.ts.(*simImage) }
+
+// NewWorld creates a world with one image per placed rank in topo, on a
+// private simulated machine owned by this world alone. The caller launches
+// image bodies with Launch (driving env) or Run.
+func NewWorld(env *sim.Env, model *machine.Model, topo *topology.Topology, stats *trace.Stats) (*World, error) {
+	coresPerSocket := topo.CoresPerNode() / topo.SocketsPerNode()
+	hw, err := cluster.NewWithEnv(env, model, topo.NumNodes(), topo.SocketsPerNode(), coresPerSocket)
+	if err != nil {
+		return nil, err
+	}
+	return NewWorldOn(hw, topo, stats)
+}
+
+// NewWorldOn creates a world on an externally owned simulated cluster: the
+// world uses the cluster's environment, model and per-node resources, so its
+// traffic contends with every other world on the same cluster. topo's node
+// ids are physical cluster node ids and must fit the cluster's shape; core
+// allocation (which job owns which core) is the scheduler's business, not
+// checked here.
+func NewWorldOn(hw *cluster.Cluster, topo *topology.Topology, stats *trace.Stats) (*World, error) {
+	if topo.NumNodes() > hw.Nodes() {
+		return nil, fmt.Errorf("pgas: topology spans %d nodes but cluster has %d", topo.NumNodes(), hw.Nodes())
+	}
+	if topo.CoresPerNode() > hw.CoresPerNode() {
+		return nil, fmt.Errorf("pgas: topology wants %d cores/node but cluster has %d", topo.CoresPerNode(), hw.CoresPerNode())
+	}
+	w := newWorld(simTransport{}, hw.Model(), topo, stats)
+	w.ts = &simWorld{
+		hw:       hw,
+		env:      hw.Env(),
+		nic:      hw.NICs(),
+		progress: hw.ProgressEngines(),
+		membus:   hw.Membuses(),
+		rowCond:  make([]sim.Cond, topo.NumImages()),
+	}
+	for _, im := range w.images {
+		im.ts = &simImage{}
+	}
+	return w, nil
+}
+
+// Cluster returns the simulated machine this world runs on, or nil on the
+// native backend.
+func (w *World) Cluster() *cluster.Cluster {
+	if sw, ok := w.ts.(*simWorld); ok {
+		return sw.hw
+	}
+	return nil
+}
+
+// Env returns the simulation environment, or nil on the native backend.
+func (w *World) Env() *sim.Env {
+	if sw, ok := w.ts.(*simWorld); ok {
+		return sw.env
+	}
+	return nil
+}
+
+// Proc returns the simulated process, for direct sleeps in tests; nil on
+// the native backend.
+func (im *Image) Proc() *sim.Proc {
+	if si, ok := im.ts.(*simImage); ok {
+		return si.proc
+	}
+	return nil
+}
+
+// simTransport implements Transport on the discrete-event kernel.
+type simTransport struct{}
+
+func (simTransport) Name() string { return "sim" }
+
+// Immediate reports false: sim puts deliver asynchronously at a later
+// simulated time, so Put must stage its payload.
+func (simTransport) Immediate() bool { return false }
+
+func (simTransport) Launch(w *World, body func(*Image)) {
+	sw := simW(w)
+	for _, img := range w.images {
+		img := img
+		sw.env.Spawn(fmt.Sprintf("%simage%d", w.label, img.rank), func(p *sim.Proc) {
+			simI(img).proc = p
+			body(img)
+		})
+	}
+}
+
+func (simTransport) Drive(w *World) Time {
+	env := simW(w).env
+	if err := env.Run(0); err != nil {
+		panic(err)
+	}
+	return env.Now()
+}
+
+func (simTransport) Now(im *Image) Time      { return simI(im).proc.Now() }
+func (simTransport) Sleep(im *Image, d Time) { simI(im).proc.Sleep(d) }
+
+func (simTransport) MemWork(im *Image, nbytes int) {
+	simI(im).proc.Sleep(im.w.model.MemTime(nbytes))
+}
+
+// wake re-evaluates rank's flag waiters and progress engine. Called after
+// every mutation of rank's flag rows.
+func (sw *simWorld) wake(rank int) {
+	sw.rowCond[rank].Wake(sw.env)
+}
+
+// route computes the delivery time of a message of n payload bytes from im
+// to target over the given (resolved) path, charging the sender's CPU
+// overhead (which blocks the caller) and occupying the serializing
+// resources. It returns the simulated delivery time.
+func route(im *Image, target int, n int, via Via) sim.Time {
+	w := im.w
+	sw := simW(w)
+	m := w.model
+	proc := simI(im).proc
+	dstNode := w.topo.NodeOf(target)
+	sameNode := dstNode == im.node
+	via = im.resolveVia(target, via)
+	switch {
+	case via == ViaShm:
+		// Direct load/store path within the node.
+		proc.Sleep(m.Shm.O)
+		now := proc.Now()
+		dur := m.Shm.G + m.Shm.ByteTime(n)
+		start := sw.membus[im.node].Occupy(now, dur)
+		return start + dur + m.Shm.L
+	case sameNode:
+		// Conduit loopback: the portable path does not know the target
+		// is local; the message serializes through the node's conduit
+		// progress engine at an inflated occupancy (software handling
+		// plus flag-polling coherence traffic).
+		proc.Sleep(m.Net.O)
+		now := proc.Now()
+		dur := m.LoopbackG + m.Shm.ByteTime(n)
+		start := sw.progress[im.node].Occupy(now, dur)
+		return start + dur + m.Shm.L
+	default:
+		// Inter-node: sender NIC injection, wire, receiver NIC (the
+		// receive-side occupancy is zero for pure RDMA-write conduits).
+		proc.Sleep(m.Net.O)
+		now := proc.Now()
+		sdur := m.Net.G + m.Net.ByteTime(n)
+		start := sw.nic[im.node].Occupy(now, sdur)
+		arrive := start + sdur + m.Net.L
+		if m.RecvG == 0 {
+			return arrive
+		}
+		rstart := sw.nic[dstNode].Occupy(arrive, m.RecvG)
+		return rstart + m.RecvG
+	}
+}
+
+// deliverAt schedules fn at time t and tracks the operation for Quiet.
+func deliverAt(im *Image, t sim.Time, fn func()) {
+	si := simI(im)
+	si.outstanding++
+	simW(im.w).env.Schedule(t, func() {
+		fn()
+		si.outstanding--
+		if si.outstanding == 0 {
+			si.quietCond.Wake(simW(im.w).env)
+		}
+	})
+}
+
+func (simTransport) Quiet(im *Image) {
+	si := simI(im)
+	si.quietCond.Wait(si.proc, "quiet", func() bool { return si.outstanding == 0 })
+}
+
+func (simTransport) Put(im *Image, target, nbytes int, via Via, commit func()) {
+	deliver := route(im, target, nbytes, via)
+	deliverAt(im, deliver, commit)
+}
+
+func (simTransport) Get(im *Image, target, nbytes int, commit func()) {
+	w := im.w
+	sw := simW(w)
+	m := w.model
+	proc := simI(im).proc
+	if target == im.rank {
+		proc.Sleep(m.MemTime(nbytes))
+		commit()
+		return
+	}
+	if im.SameNode(target) {
+		// Direct shared-memory read.
+		proc.Sleep(m.Shm.O)
+		dur := m.Shm.G + m.Shm.ByteTime(nbytes)
+		start := sw.membus[im.node].Occupy(proc.Now(), dur)
+		proc.Sleep(start + dur + m.Shm.L - proc.Now())
+		commit()
+		return
+	}
+	// Remote get: small request out, payload back.
+	proc.Sleep(m.Net.O)
+	now := proc.Now()
+	reqDur := m.Net.G
+	reqStart := sw.nic[im.node].Occupy(now, reqDur)
+	reqArrive := reqStart + reqDur + m.Net.L
+	dstNode := w.topo.NodeOf(target)
+	respDur := m.Net.G + m.Net.ByteTime(nbytes)
+	respStart := sw.nic[dstNode].Occupy(reqArrive, respDur)
+	back := respStart + respDur + m.Net.L
+	bstart := sw.nic[im.node].Occupy(back, m.Net.G)
+	done := false
+	var cnd sim.Cond
+	sw.env.Schedule(bstart+m.Net.G, func() {
+		commit()
+		done = true
+		cnd.Wake(sw.env)
+	})
+	cnd.Wait(proc, fmt.Sprintf("get from %d", target), func() bool { return done })
+}
+
+func (simTransport) PutThenNotify(im *Image, target, nbytes int, via Via, commit func(), f *Flags, idx int, delta int64) {
+	sw := simW(im.w)
+	deliverData := route(im, target, nbytes, via)
+	deliverFlag := route(im, target, 8, via)
+	if deliverFlag < deliverData {
+		deliverFlag = deliverData // ordered delivery per pair
+	}
+	deliverAt(im, deliverData, commit)
+	deliverAt(im, deliverFlag, func() {
+		f.add(target, idx, delta)
+		sw.wake(target)
+	})
+}
+
+func (simTransport) NotifyAdd(im *Image, f *Flags, target, idx int, delta int64, via Via) {
+	sw := simW(im.w)
+	deliver := route(im, target, 8, via)
+	deliverAt(im, deliver, func() {
+		f.add(target, idx, delta)
+		sw.wake(target)
+	})
+}
+
+func (simTransport) NotifySet(im *Image, f *Flags, target, idx int, val int64, via Via) {
+	sw := simW(im.w)
+	deliver := route(im, target, 8, via)
+	deliverAt(im, deliver, func() {
+		f.storeMax(target, idx, val)
+		sw.wake(target)
+	})
+}
+
+// atomicRoundTrip models the timing of a blocking remote read-modify-write:
+// local and intra-node targets use the node's memory system; inter-node
+// targets pay a request over the wire (reqBytes of payload) and an 8-byte
+// response back, with apply executed at the target at delivery time. It
+// returns apply's result once the caller may proceed.
+func atomicRoundTrip(im *Image, target, reqBytes int, why string, apply func() int64) int64 {
+	w := im.w
+	sw := simW(w)
+	m := w.model
+	proc := simI(im).proc
+	if target == im.rank {
+		proc.Sleep(m.AtomicShm)
+		return apply()
+	}
+	if im.SameNode(target) {
+		proc.Sleep(m.Shm.O)
+		start := sw.membus[im.node].Occupy(proc.Now(), m.AtomicShm)
+		proc.Sleep(start + m.AtomicShm - proc.Now())
+		return apply()
+	}
+	deliver := route(im, target, reqBytes, ViaConduit)
+	var old int64
+	done := false
+	var c sim.Cond
+	deliverAt(im, deliver, func() { old = apply() })
+	dstNode := w.topo.NodeOf(target)
+	rdur := m.Net.G + m.Net.ByteTime(8)
+	rstart := sw.nic[dstNode].Occupy(deliver, rdur)
+	back := rstart + rdur + m.Net.L
+	var at sim.Time
+	if m.RecvG == 0 {
+		at = back
+	} else {
+		bstart := sw.nic[im.node].Occupy(back, m.RecvG)
+		at = bstart + m.RecvG
+	}
+	sw.env.Schedule(at, func() {
+		done = true
+		c.Wake(sw.env)
+	})
+	c.Wait(proc, why+" response", func() bool { return done })
+	return old
+}
+
+func (simTransport) FetchOp(im *Image, f *Flags, target, idx int, op AtomicOp, operand int64) int64 {
+	sw := simW(im.w)
+	return atomicRoundTrip(im, target, 8, "atomic "+op.String(), func() int64 {
+		old := f.fetchOp(target, idx, op, operand)
+		sw.wake(target)
+		return old
+	})
+}
+
+func (simTransport) CompareAndSwap(im *Image, f *Flags, target, idx int, expected, desired int64) int64 {
+	sw := simW(im.w)
+	return atomicRoundTrip(im, target, 16, "cas", func() int64 {
+		old := f.compareAndSwap(target, idx, expected, desired)
+		if old == expected {
+			sw.wake(target)
+		}
+		return old
+	})
+}
+
+func (simTransport) WaitFlagGE(im *Image, f *Flags, owner, idx int, min int64) {
+	sw := simW(im.w)
+	sw.rowCond[owner].Wait(simI(im).proc,
+		fmt.Sprintf("flag %s[%d][%d]>=%d", f.name, owner, idx, min),
+		func() bool { return f.load(owner, idx) >= min })
+}
+
+func (simTransport) WaitAsync(im *Image, ready func() bool) {
+	sw := simW(im.w)
+	sw.rowCond[im.rank].Wait(simI(im).proc, "async progress", ready)
+}
+
+func (simTransport) WakeRank(w *World, rank int) {
+	simW(w).wake(rank)
+}

@@ -1,33 +1,39 @@
-// Package pgas implements the simulated PGAS (Partitioned Global Address
-// Space) runtime: SPMD images, symmetric-heap coarrays, one-sided Put/Get,
-// remote atomics, and synchronization flags with "carry" semantics (wait on
-// a monotonically increasing counter — the single-wait structure the paper's
+// Package pgas implements the PGAS (Partitioned Global Address Space)
+// runtime: SPMD images, symmetric-heap coarrays, one-sided Put/Get, remote
+// atomics, and synchronization flags with "carry" semantics (wait on a
+// monotonically increasing counter — the single-wait structure the paper's
 // dissemination barrier relies on).
 //
-// Images execute as simulated processes (internal/sim) and every remote
-// operation is charged through the machine model (internal/machine), with
-// serialization through per-node resources:
+// The runtime is split along a Transport seam (transport.go). Image, World,
+// Coarray, Flags, events and the split-phase progress engine are
+// backend-agnostic; two transports execute them:
 //
-//   - nic[n]: the node's network interface; all inter-node messages occupy
-//     it on both the sending and receiving side (LogGP gap).
-//   - progress[n]: the conduit's software progress engine; intra-node
-//     messages sent through the *portable conduit path* (how the paper's
-//     flat, hierarchy-oblivious collectives address every peer) serialize
-//     through it — this is the paper's "on a shared memory system, in the
-//     worst case, all those notifications would have to be serialized".
-//   - membus[n]: the shared-memory path used by hierarchy-aware algorithms
-//     for peers they know to be on the same node; far cheaper.
+//   - the sim backend (simbackend.go): images run as deterministic simulated
+//     processes (internal/sim), every remote operation is charged through
+//     the machine model (internal/machine), and traffic serializes through
+//     per-node resources — nic[n] for inter-node messages, progress[n] for
+//     intra-node messages sent through the *portable conduit path* (how the
+//     paper's flat, hierarchy-oblivious collectives address every peer: "on
+//     a shared memory system, in the worst case, all those notifications
+//     would have to be serialized"), and membus[n] for the direct
+//     shared-memory path hierarchy-aware algorithms use for peers they know
+//     to be on the same node.
+//
+//   - the native backend (nativebackend.go): images run as real goroutines
+//     in this process's address space; puts are memcpys, flags are
+//     sync/atomic cells, waits are condition variables, and timing is the
+//     wall clock.
 //
 // The distinction between the conduit path and the shared-memory path is
-// exactly the lever the paper's two-level methodology exploits.
+// exactly the lever the paper's two-level methodology exploits; the sim
+// backend models it, the native backend embodies it.
 package pgas
 
 import (
 	"fmt"
+	"sync"
 
-	"cafteams/internal/cluster"
 	"cafteams/internal/machine"
-	"cafteams/internal/sim"
 	"cafteams/internal/topology"
 	"cafteams/internal/trace"
 )
@@ -63,74 +69,54 @@ func (v Via) String() string {
 	}
 }
 
-// World is one SPMD program instance: a set of images placed on a simulated
-// cluster. All images share the World object; per-image state lives in
-// Image.
+// World is one SPMD program instance: a set of images placed on a machine.
+// All images share the World object; per-image state lives in Image.
 //
-// The hardware under a World — clock, cost model, per-node serializing
-// resources — is owned by a cluster.Cluster. A World built with NewWorld
-// gets a private machine (the historical single-job behavior); Worlds built
-// with NewWorldOn share one machine, so their traffic contends on the same
-// NICs, progress engines and memory buses. Several Worlds may share one
-// cluster (and hence one sim.Env): each job's images are ordinary simulated
-// processes interleaved deterministically by the single event queue.
+// Which machine, and what "time" means, is the transport's business: a
+// World built with NewWorld/NewWorldOn runs on the discrete-event sim
+// backend (the hardware — clock, cost model, per-node serializing
+// resources — is owned by a cluster.Cluster, shareable between jobs); a
+// World built with NewNativeWorld runs its images as real goroutines on
+// this machine with wall-clock timing.
 type World struct {
-	hw    *cluster.Cluster
-	env   *sim.Env
+	tr    Transport
+	ts    interface{} // backend-private state (*simWorld / *nativeWorld)
 	model *machine.Model
 	topo  *topology.Topology
 	stats *trace.Stats
 
-	images   []*Image
-	nic      []*sim.Resource // per node (aliases hw's resources)
-	progress []*sim.Resource // per node, conduit software path
-	membus   []*sim.Resource // per node, shared-memory path
+	images []*Image
 
-	registry map[string]interface{} // world-wide named objects (teams, flags)
+	// registry holds world-wide named objects (teams, flags, coarrays,
+	// collective scratch state). Creation is once-per-key: on the native
+	// backend many images race to the first use of an allocation, and all
+	// of them must attach to the single shared object. Entries carry their
+	// own sync.Once so mk functions may nest LookupOrCreate calls for
+	// *other* keys (team builds allocate flags) without self-deadlock.
+	regMu    sync.Mutex
+	registry map[string]*regEntry
 
-	// label prefixes simulated process names, so deadlock reports tell
-	// co-scheduled jobs' images apart. Empty for single-job worlds.
+	// label prefixes image names in process listings and deadlock reports,
+	// so co-scheduled jobs' images tell apart. Empty for single-job worlds.
 	label string
 }
 
-// NewWorld creates a world with one image per placed rank in topo, on a
-// private machine owned by this world alone. The caller launches image
-// bodies with Launch.
-func NewWorld(env *sim.Env, model *machine.Model, topo *topology.Topology, stats *trace.Stats) (*World, error) {
-	coresPerSocket := topo.CoresPerNode() / topo.SocketsPerNode()
-	hw, err := cluster.NewWithEnv(env, model, topo.NumNodes(), topo.SocketsPerNode(), coresPerSocket)
-	if err != nil {
-		return nil, err
-	}
-	return NewWorldOn(hw, topo, stats)
+type regEntry struct {
+	once sync.Once
+	v    interface{}
 }
 
-// NewWorldOn creates a world on an externally owned cluster: the world uses
-// the cluster's environment, model and per-node resources, so its traffic
-// contends with every other world on the same cluster. topo's node ids are
-// physical cluster node ids and must fit the cluster's shape; core
-// allocation (which job owns which core) is the scheduler's business, not
-// checked here.
-func NewWorldOn(hw *cluster.Cluster, topo *topology.Topology, stats *trace.Stats) (*World, error) {
-	if topo.NumNodes() > hw.Nodes() {
-		return nil, fmt.Errorf("pgas: topology spans %d nodes but cluster has %d", topo.NumNodes(), hw.Nodes())
-	}
-	if topo.CoresPerNode() > hw.CoresPerNode() {
-		return nil, fmt.Errorf("pgas: topology wants %d cores/node but cluster has %d", topo.CoresPerNode(), hw.CoresPerNode())
-	}
+// newWorld builds the backend-agnostic part of a world.
+func newWorld(tr Transport, model *machine.Model, topo *topology.Topology, stats *trace.Stats) *World {
 	if stats == nil {
 		stats = trace.New()
 	}
 	w := &World{
-		hw:       hw,
-		env:      hw.Env(),
-		model:    hw.Model(),
+		tr:       tr,
+		model:    model,
 		topo:     topo,
 		stats:    stats,
-		nic:      hw.NICs(),
-		progress: hw.ProgressEngines(),
-		membus:   hw.Membuses(),
-		registry: make(map[string]interface{}),
+		registry: make(map[string]*regEntry),
 	}
 	for r := 0; r < topo.NumImages(); r++ {
 		w.images = append(w.images, &Image{
@@ -139,14 +125,12 @@ func NewWorldOn(hw *cluster.Cluster, topo *topology.Topology, stats *trace.Stats
 			node: topo.NodeOf(r),
 		})
 	}
-	return w, nil
+	return w
 }
 
-// Cluster returns the machine this world runs on.
-func (w *World) Cluster() *cluster.Cluster { return w.hw }
-
-// Env returns the simulation environment.
-func (w *World) Env() *sim.Env { return w.env }
+// Backend returns the name of the transport this world runs on ("sim" or
+// "native").
+func (w *World) Backend() string { return w.tr.Name() }
 
 // Model returns the machine model.
 func (w *World) Model() *machine.Model { return w.model }
@@ -164,7 +148,7 @@ func (w *World) NumImages() int { return len(w.images) }
 // Image returns image rank r (0-based).
 func (w *World) Image(r int) *Image { return w.images[r] }
 
-// SetLabel names this world's images in simulated-process listings
+// SetLabel names this world's images in process listings
 // ("<label>/image3"); useful when several jobs share one environment.
 func (w *World) SetLabel(label string) {
 	if label != "" {
@@ -175,39 +159,35 @@ func (w *World) SetLabel(label string) {
 }
 
 // Launch spawns every image running body and returns after all are
-// scheduled; drive the simulation with Env().Run.
+// started; complete the run with the backend's driver (Env().Run for a
+// shared sim cluster, or World.Run which launches and drives in one call).
 func (w *World) Launch(body func(img *Image)) {
-	for _, img := range w.images {
-		img := img
-		w.env.Spawn(fmt.Sprintf("%simage%d", w.label, img.rank), func(p *sim.Proc) {
-			img.proc = p
-			body(img)
-		})
-	}
+	w.tr.Launch(w, body)
 }
 
-// Run launches body on every image and drives the simulation to completion,
-// returning the simulated end time. It panics on simulated deadlock (a
-// correctness bug in the parallel program).
-func (w *World) Run(body func(img *Image)) sim.Time {
-	w.Launch(body)
-	if err := w.env.Run(0); err != nil {
-		panic(err)
-	}
-	return w.env.Now()
+// Run launches body on every image and drives execution to completion,
+// returning the end time (simulated on the sim backend, wall-clock
+// nanoseconds on the native backend). On the sim backend it panics on
+// simulated deadlock (a correctness bug in the parallel program).
+func (w *World) Run(body func(img *Image)) Time {
+	w.tr.Launch(w, body)
+	return w.tr.Drive(w)
 }
 
 // lookupOrCreate returns the named world object, creating it with mk on
-// first use. The simulation is single-threaded, so no locking is needed; the
-// first image to reach a collective allocation creates the shared object and
-// later arrivals attach to it.
+// first use. Exactly one caller's mk runs per key; every other image
+// attaches to the object it produced. mk may call lookupOrCreate for other
+// keys (but not its own).
 func (w *World) lookupOrCreate(key string, mk func() interface{}) interface{} {
-	if v, ok := w.registry[key]; ok {
-		return v
+	w.regMu.Lock()
+	e, ok := w.registry[key]
+	if !ok {
+		e = &regEntry{}
+		w.registry[key] = e
 	}
-	v := mk()
-	w.registry[key] = v
-	return v
+	w.regMu.Unlock()
+	e.once.Do(func() { e.v = mk() })
+	return e.v
 }
 
 // LookupOrCreate exposes the world-wide named-object registry to the layers

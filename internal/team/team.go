@@ -14,6 +14,7 @@ package team
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"cafteams/internal/pgas"
 )
@@ -51,14 +52,14 @@ type View struct {
 	Img  *pgas.Image
 }
 
-// idCounter lives in the world registry so ids are unique per world.
+// idCounter lives in the world registry so ids are unique per world. The
+// increment is atomic: on the native backend sibling subteams can be built
+// concurrently by racing leader images.
 type idCounter struct{ next int64 }
 
 func nextTeamID(w *pgas.World) int64 {
-	c := pgas.LookupOrCreate(w, "team:idcounter", func() interface{} { return &idCounter{next: 1} }).(*idCounter)
-	id := c.next
-	c.next++
-	return id
+	c := pgas.LookupOrCreate(w, "team:idcounter", func() interface{} { return &idCounter{} }).(*idCounter)
+	return atomic.AddInt64(&c.next, 1)
 }
 
 // build computes the hierarchy views for a member list.
