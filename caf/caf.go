@@ -85,6 +85,15 @@ type Config struct {
 	// collective with an element type it was not registered for panics
 	// at the call site.) See also WithAlgorithm.
 	Tuning Tuning
+	// Detect configures timer-based failure detection: per-wait timeouts
+	// and per-image heartbeats. The zero value disables all timers —
+	// failure *announcements* (injected kills, panics) are always
+	// observed, but a silent death surfaces only through these timers.
+	Detect DetectConfig
+	// FaultPlan injects a seeded, deterministic fault schedule (image and
+	// node kills on both backends; NIC degradation and link delay/drop on
+	// the sim backend). Nil runs fault-free.
+	FaultPlan *FaultPlan
 	// Backend selects the execution substrate: BackendSim (default) runs
 	// images as simulated processes with modeled time on the modeled
 	// cluster; BackendNative runs them as real goroutines in this process
@@ -139,6 +148,10 @@ type Report struct {
 	Images int
 	// Backend names the execution substrate the run used.
 	Backend string
+	// Failures records every image that failed during the run (killed by
+	// an injected fault, panicked — with the panic value — or aborted on a
+	// failed peer), in announcement order. Empty for a clean run.
+	Failures []ImageFailure
 }
 
 // Image is one executing image's handle. All methods must be called from
@@ -209,12 +222,27 @@ func runWithLevel(cfg Config, level core.Level, body func(im *Image)) (Report, e
 			return Report{}, err
 		}
 	}
+	// The caf layer always contains image panics: a panic in one image's
+	// body fails that image (recorded in Report.Failures) instead of
+	// crashing the run.
+	w.ContainPanics()
+	w.SetDetect(cfg.Detect)
+	if cfg.FaultPlan != nil {
+		if err := w.InjectFaults(cfg.FaultPlan); err != nil {
+			return Report{}, err
+		}
+	}
 	end := w.Run(func(pim *pgas.Image) {
 		im := &Image{img: pim, w: w, pol: core.Policy{Level: level, Tuning: cfg.Tuning}}
 		im.stack = []*team.View{team.Initial(w, pim)}
 		body(im)
 	})
-	return Report{Elapsed: end, Stats: stats.Snapshot(), Images: w.NumImages(), Backend: backend}, nil
+	rep := Report{Elapsed: end, Stats: stats.Snapshot(), Images: w.NumImages(),
+		Backend: backend, Failures: w.Failures()}
+	if len(rep.Failures) > 0 {
+		return rep, &FailedRunError{Failures: rep.Failures}
+	}
+	return rep, nil
 }
 
 // view returns the current team view (innermost change-team block).
@@ -247,11 +275,15 @@ func (im *Image) Sleep(d pgas.Time) { im.img.Sleep(d) }
 // SyncAll synchronizes the current team (CAF "sync all", and "sync team"
 // when inside a change-team block), dispatched through the hierarchy
 // policy — TDLB on the two-level runtime.
-func (im *Image) SyncAll() { im.pol.Barrier(im.view()) }
+func (im *Image) SyncAll() {
+	im.guardTeam("sync all")
+	im.pol.Barrier(im.view())
+}
 
 // SyncImages synchronizes pairwise with the listed images (1-based, current
 // team).
 func (im *Image) SyncImages(images []int) {
+	im.guardTeam("sync images")
 	v := im.view()
 	globals := make([]int, 0, len(images))
 	for _, idx := range images {
@@ -333,6 +365,7 @@ type Team struct{ v *team.View }
 // Images passing the same number join the same subteam, ordered by current
 // team rank.
 func (im *Image) FormTeam(number int64) *Team {
+	im.guardTeam("form team")
 	return &Team{v: im.view().Form(number, -1)}
 }
 

@@ -25,9 +25,12 @@ import (
 // machine belongs to the cluster. onDone, if non-nil, runs in simulation
 // context after the job's last image finishes.
 //
-// LaunchOn returns after scheduling the images, with the job's stats
-// collector; the Report passed to onDone carries the final snapshot.
-func LaunchOn(cl *cluster.Cluster, topo *topology.Topology, cfg Config, label string, body func(im *Image), onDone func(Report)) (*trace.Stats, error) {
+// LaunchOn returns after scheduling the images, with a handle on the
+// running job; the Report passed to onDone carries the final stats snapshot
+// and any image failures. onDone fires when the job's last image *ends* —
+// finished, killed, or failed — so a faulted job still completes from the
+// scheduler's point of view instead of wedging it.
+func LaunchOn(cl *cluster.Cluster, topo *topology.Topology, cfg Config, label string, body func(im *Image), onDone func(Report)) (*Job, error) {
 	if err := cfg.Tuning.Validate(); err != nil {
 		return nil, fmt.Errorf("caf: %w", err)
 	}
@@ -41,17 +44,62 @@ func LaunchOn(cl *cluster.Cluster, topo *topology.Topology, cfg Config, label st
 		return nil, err
 	}
 	w.SetLabel(label)
+	w.ContainPanics()
+	w.SetDetect(cfg.Detect)
+	if cfg.FaultPlan != nil {
+		if err := w.InjectFaults(cfg.FaultPlan); err != nil {
+			return nil, err
+		}
+	}
 	n := topo.NumImages()
 	remaining := n
 	start := cl.Env().Now()
 	w.Launch(func(pim *pgas.Image) {
+		// Classify this image's end (recording a failure if it panicked
+		// or observed one) *before* the countdown, so the Report the last
+		// image hands to onDone includes every failure — then let the
+		// recovered value vanish: the countdown below must run for killed
+		// and failed images too, or the job would never report done.
+		defer func() {
+			w.ObserveImageEnd(pim, recover())
+			remaining--
+			if remaining == 0 && onDone != nil {
+				onDone(Report{Elapsed: cl.Env().Now() - start, Stats: stats.Snapshot(),
+					Images: n, Backend: w.Backend(), Failures: w.Failures()})
+			}
+		}()
 		im := &Image{img: pim, w: w, pol: core.Policy{Level: level, Tuning: cfg.Tuning}}
 		im.stack = []*team.View{team.Initial(w, pim)}
 		body(im)
-		remaining--
-		if remaining == 0 && onDone != nil {
-			onDone(Report{Elapsed: cl.Env().Now() - start, Stats: stats.Snapshot(), Images: n})
-		}
 	})
-	return stats, nil
+	return &Job{w: w, Stats: stats}, nil
 }
+
+// Job is a handle on a job launched with LaunchOn: the scheduler uses it to
+// kill images when a node fails and to inspect the job's failure state.
+type Job struct {
+	w *pgas.World
+	// Stats is the job's live statistics collector (snapshotted into the
+	// Report handed to onDone).
+	Stats *trace.Stats
+}
+
+// KillNodeImages kills every image of this job hosted on physical node
+// (announced to the survivors) — what a node crash does to the job. Must be
+// called from simulation context (a scheduler event). Returns how many
+// images it killed.
+func (j *Job) KillNodeImages(node int) int {
+	killed := 0
+	topo := j.w.Topology()
+	for r := 0; r < j.w.NumImages(); r++ {
+		if topo.NodeOf(r) == node {
+			j.w.KillImage(r)
+			killed++
+		}
+	}
+	return killed
+}
+
+// FailedImages returns the global ranks (0-based) of this job's announced
+// failed images.
+func (j *Job) FailedImages() []int { return j.w.FailedImages() }

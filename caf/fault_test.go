@@ -1,0 +1,152 @@
+package caf
+
+// End-to-end failed-image demos at the public API, on both backends: a node
+// dies mid-allreduce, the survivors observe STAT_FAILED_IMAGE instead of
+// hanging, form a survivor team, and complete the collective there with the
+// correct survivor-only result. Plus the panic-containment regression: a
+// panicking image body surfaces as an image failure in the run report, never
+// as a crashed process.
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"cafteams/internal/pgas"
+)
+
+// runNodeCrashRecovery is the shared demo body: 6 images on 3 nodes, node 1
+// (global images 3 and 4) is killed while the whole team is inside CoSum.
+// victimNap must put the victims past the kill time so they never
+// contribute; survivors' collective waits are interrupted by the kill
+// announcement.
+func runNodeCrashRecovery(t *testing.T, cfg Config, killAt pgas.Time, victimNap pgas.Time) {
+	t.Helper()
+	cfg.Spec = "6(3)"
+	cfg.FaultPlan = &FaultPlan{Events: []FaultEvent{
+		{At: killAt, Kind: FaultKillNode, Node: 1},
+	}}
+	// Survivors are global images 1,2,5,6 → their sum is 14; the full-team
+	// sum 21 must never appear (no victim ever contributed).
+	const survivorSum = 1 + 2 + 5 + 6
+	rep, err := Run(cfg, func(im *Image) {
+		if im.Node() == 1 {
+			im.Sleep(victimNap) // killed mid-nap; the body never gets further
+			t.Errorf("victim image %d survived the node kill", im.GlobalImage())
+			return
+		}
+		a := []float64{float64(im.GlobalImage())}
+		st := im.CoSumStat(a)
+		if st != StatFailedImage {
+			t.Errorf("image %d: allreduce over a dead node returned %v, want %v",
+				im.GlobalImage(), st, StatFailedImage)
+			return
+		}
+		// Rendezvous on both victims being announced before shrinking, so
+		// the survivor team is computed from the complete failed set.
+		failed := im.AwaitFailedImages(2)
+		if len(failed) != 2 || failed[0] != 3 || failed[1] != 4 {
+			t.Errorf("image %d: FailedImages = %v, want [3 4]", im.GlobalImage(), failed)
+			return
+		}
+		survivors := im.FormTeamSurvivors()
+		if n := survivors.NumImages(); n != 4 {
+			t.Errorf("image %d: survivor team has %d images, want 4", im.GlobalImage(), n)
+			return
+		}
+		im.ChangeTeam(survivors, func() {
+			b := []float64{float64(im.GlobalImage())} // fresh contribution
+			im.CoSum(b)
+			if b[0] != survivorSum {
+				t.Errorf("image %d: survivor allreduce = %v, want %v",
+					im.GlobalImage(), b[0], float64(survivorSum))
+			}
+		})
+	})
+	var fre *FailedRunError
+	if !errors.As(err, &fre) {
+		t.Fatalf("Run error = %v, want *FailedRunError", err)
+	}
+	var ranks []int
+	for _, f := range rep.Failures {
+		if f.Cause != pgas.CauseKilled {
+			t.Errorf("failure %+v: cause %q, want %q", f, f.Cause, pgas.CauseKilled)
+		}
+		ranks = append(ranks, f.Rank)
+	}
+	sort.Ints(ranks)
+	if len(ranks) != 2 || ranks[0] != 2 || ranks[1] != 3 {
+		t.Fatalf("failed ranks = %v, want [2 3]", ranks)
+	}
+}
+
+// TestSimNodeCrashMidAllreduceRecovery: the headline demo on the simulated
+// backend (times are simulated nanoseconds).
+func TestSimNodeCrashMidAllreduceRecovery(t *testing.T) {
+	runNodeCrashRecovery(t, Config{Backend: BackendSim},
+		50*pgas.Microsecond, pgas.Second)
+}
+
+// TestNativeNodeCrashMidAllreduceRecovery: the same demo on real goroutines
+// (times are wall-clock nanoseconds, kept loose).
+func TestNativeNodeCrashMidAllreduceRecovery(t *testing.T) {
+	runNodeCrashRecovery(t, Config{Backend: BackendNative},
+		pgas.Time((2 * time.Millisecond).Nanoseconds()),
+		pgas.Time((20 * time.Millisecond).Nanoseconds()))
+}
+
+// runPanicContainment is the satellite-1 regression body: one image panics;
+// the run survives, the panic value lands in the report, and peers observe
+// the failure as a status.
+func runPanicContainment(t *testing.T, cfg Config) {
+	t.Helper()
+	cfg.Spec = "4(2)"
+	rep, err := Run(cfg, func(im *Image) {
+		if im.GlobalImage() == 2 {
+			panic("kaboom")
+		}
+		if st := im.SyncAllStat(); st != StatFailedImage {
+			t.Errorf("image %d: barrier with a panicked peer returned %v, want %v",
+				im.GlobalImage(), st, StatFailedImage)
+		}
+	})
+	var fre *FailedRunError
+	if !errors.As(err, &fre) {
+		t.Fatalf("Run error = %v, want *FailedRunError", err)
+	}
+	if len(rep.Failures) != 1 {
+		t.Fatalf("failures = %+v, want exactly one", rep.Failures)
+	}
+	f := rep.Failures[0]
+	if f.Rank != 1 || f.Cause != pgas.CausePanic || f.PanicValue != "kaboom" {
+		t.Fatalf("failure = %+v, want rank 1, cause %q, panic value \"kaboom\"",
+			f, pgas.CausePanic)
+	}
+}
+
+func TestSimImagePanicBecomesFailure(t *testing.T) {
+	runPanicContainment(t, Config{Backend: BackendSim})
+}
+
+func TestNativeImagePanicBecomesFailure(t *testing.T) {
+	runPanicContainment(t, Config{Backend: BackendNative})
+}
+
+// TestStatStrings pins the Stat codes' rendering (they appear in job
+// reports and cluster summaries).
+func TestStatStrings(t *testing.T) {
+	for _, c := range []struct {
+		st   Stat
+		want string
+	}{
+		{StatOK, "ok"},
+		{StatFailedImage, "failed-image"},
+		{StatTimeout, "timeout"},
+		{Stat(99), "stat(99)"},
+	} {
+		if got := c.st.String(); got != c.want {
+			t.Errorf("Stat(%d).String() = %q, want %q", int(c.st), got, c.want)
+		}
+	}
+}

@@ -57,16 +57,19 @@ func Algorithms(k Kind) []string { return core.Algorithms(k) }
 // CoSumT reduces a element-wise by summation across the current team for
 // any numeric element type; every image receives the result (CAF co_sum).
 func CoSumT[T Numeric](im *Image, a []T) {
+	im.guardTeam("co_sum")
 	core.PolicyAllreduce(im.pol, im.view(), a, coll.SumOp[T]())
 }
 
 // CoMaxT reduces element-wise by maximum (CAF co_max).
 func CoMaxT[T Numeric](im *Image, a []T) {
+	im.guardTeam("co_max")
 	core.PolicyAllreduce(im.pol, im.view(), a, coll.MaxOp[T]())
 }
 
 // CoMinT reduces element-wise by minimum (CAF co_min).
 func CoMinT[T Numeric](im *Image, a []T) {
+	im.guardTeam("co_min")
 	core.PolicyAllreduce(im.pol, im.view(), a, coll.MinOp[T]())
 }
 
@@ -74,6 +77,7 @@ func CoMinT[T Numeric](im *Image, a []T) {
 // operation over any element type. name keys the runtime's internal state;
 // use one name per distinct operation.
 func CoReduceT[T any](im *Image, a []T, name string, combine func(dst, src []T)) {
+	im.guardTeam("co_reduce")
 	core.PolicyAllreduce(im.pol, im.view(), a, coll.Op[T]{Name: name, Combine: combine})
 }
 
@@ -81,12 +85,14 @@ func CoReduceT[T any](im *Image, a []T, name string, combine func(dst, src []T))
 // team) — the CAF co_sum(result_image=...) form. Other images' buffers are
 // left with partial values.
 func CoSumToT[T Numeric](im *Image, a []T, resultImage int) {
+	im.guardTeam("co_sum(result_image)")
 	core.PolicyReduceTo(im.pol, im.view(), resultImage-1, a, coll.SumOp[T]())
 }
 
 // CoBroadcastT broadcasts a from sourceImage (1-based, current team) to the
 // whole team (CAF co_broadcast), for any element type.
 func CoBroadcastT[T any](im *Image, a []T, sourceImage int) {
+	im.guardTeam("co_broadcast")
 	core.PolicyBroadcast(im.pol, im.view(), sourceImage-1, a)
 }
 
@@ -94,6 +100,7 @@ func CoBroadcastT[T any](im *Image, a []T, sourceImage int) {
 // team rank, on every image of the current team. out must hold
 // NumImages()*len(mine) elements.
 func CoAllgatherT[T any](im *Image, mine, out []T) {
+	im.guardTeam("co_allgather")
 	core.PolicyAllgather(im.pol, im.view(), mine, out)
 }
 
@@ -102,6 +109,7 @@ func CoAllgatherT[T any](im *Image, mine, out []T) {
 // send vector, which is significant only at the source and must hold
 // NumImages()*len(recv) elements there (the MPI_Scatter pattern).
 func CoScatterT[T any](im *Image, send, recv []T, sourceImage int) {
+	im.guardTeam("co_scatter")
 	core.PolicyScatter(im.pol, im.view(), sourceImage-1, send, recv)
 }
 
@@ -110,6 +118,7 @@ func CoScatterT[T any](im *Image, send, recv []T, sourceImage int) {
 // only at the result image and must hold NumImages()*len(send) elements
 // there (the MPI_Gather pattern).
 func CoGatherT[T any](im *Image, send, recv []T, resultImage int) {
+	im.guardTeam("co_gather")
 	core.PolicyGather(im.pol, im.view(), resultImage-1, send, recv)
 }
 
@@ -118,6 +127,7 @@ func CoGatherT[T any](im *Image, send, recv []T, resultImage int) {
 // Both vectors hold NumImages() equal blocks (the MPI_Alltoall pattern
 // behind distributed transposes and FFT exchanges).
 func CoAlltoallT[T any](im *Image, send, recv []T) {
+	im.guardTeam("co_alltoall")
 	core.PolicyAlltoall(im.pol, im.view(), send, recv)
 }
 
@@ -126,6 +136,7 @@ func CoAlltoallT[T any](im *Image, send, recv []T) {
 // exclusive (over [1, me); image 1's a is left unchanged) — the
 // MPI_Scan/MPI_Exscan pair.
 func CoScanT[T Numeric](im *Image, a []T, exclusive bool) {
+	im.guardTeam("co_scan")
 	core.PolicyScan(im.pol, im.view(), a, coll.SumOp[T](), exclusive)
 }
 
@@ -134,6 +145,7 @@ func CoScanT[T Numeric](im *Image, a []T, exclusive bool) {
 // order). name keys the runtime's internal state; use one name per distinct
 // operation.
 func CoScanReduceT[T any](im *Image, a []T, name string, combine func(dst, src []T), exclusive bool) {
+	im.guardTeam("co_scan")
 	core.PolicyScan(im.pol, im.view(), a, coll.Op[T]{Name: name, Combine: combine}, exclusive)
 }
 

@@ -47,6 +47,14 @@ type options struct {
 	quota     int
 	ideal     bool
 	benchOut  string
+
+	// -faults scenario mode.
+	faults      int
+	faultSpanUS int
+	faultMTTRUS int
+	retryMax    int
+	retryBaseUS int
+	retryCapUS  int
 }
 
 func main() {
@@ -60,6 +68,12 @@ func main() {
 	flag.IntVar(&o.quota, "quota", 3, "distinct-node cap per tenant for the quota policy")
 	flag.BoolVar(&o.ideal, "ideal", true, "re-run every job alone on an identical machine and report the contention penalty")
 	flag.StringVar(&o.benchOut, "bench-out", "", "write the benchmark trajectory JSON to this file")
+	flag.IntVar(&o.faults, "faults", 0, "inject N seeded node crashes (enables the fault scenario: goodput/retry/MTTR tables)")
+	flag.IntVar(&o.faultSpanUS, "fault-span-us", 400, "window (simulated us) the crash times are drawn from")
+	flag.IntVar(&o.faultMTTRUS, "fault-mttr-us", 200, "node repair time (simulated us); 0 = nodes stay down")
+	flag.IntVar(&o.retryMax, "retry-max", 3, "max retries per failed job")
+	flag.IntVar(&o.retryBaseUS, "retry-base-us", 20, "initial retry backoff (simulated us)")
+	flag.IntVar(&o.retryCapUS, "retry-cap-us", 160, "retry backoff cap (simulated us)")
 	flag.Parse()
 	if err := runSim(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
@@ -108,9 +122,19 @@ func runSim(o options, w io.Writer) error {
 	fmt.Fprintf(w, "clustersim: %d jobs from %d tenants on %s (%d cores), seed %d, mean gap %dus\n",
 		len(jobs), len(lg.Profiles()), o.machine, totalCores, o.seed, o.meanGapUS)
 
+	// Fault scenario: a seeded node-crash schedule, shared by every policy
+	// (like the job stream), with the ideal comparator disabled — replaying
+	// a failed-and-retried job "alone" is not a like-for-like baseline.
+	var faults []nodeFault
+	if o.faults > 0 {
+		faults = genFaults(o, nodes)
+		o.ideal = false
+		printFaults(w, o, faults)
+	}
+
 	var runs []*policyRun
 	for _, pname := range policies {
-		pr, err := runPolicy(strings.TrimSpace(pname), o, model, nodes, sockets, cores, jobs)
+		pr, err := runPolicy(strings.TrimSpace(pname), o, model, nodes, sockets, cores, jobs, faults)
 		if err != nil {
 			return err
 		}
@@ -120,6 +144,9 @@ func runSim(o options, w io.Writer) error {
 	printPlacements(w, runs)
 	printSummaries(w, runs)
 	printCollectives(w, runs, o.ideal)
+	if o.faults > 0 {
+		printFaultSummaries(w, runs)
+	}
 
 	if o.benchOut != "" {
 		if err := writeBench(o, runs, model); err != nil {
@@ -145,7 +172,34 @@ func makePolicy(name string, o options, rng *rand.Rand) (cluster.Policy, error) 
 	}
 }
 
-func runPolicy(pname string, o options, model *machine.Model, nodes, sockets, cores int, jobs []cluster.Job) (*policyRun, error) {
+// nodeFault is one scheduled node crash of the -faults scenario.
+type nodeFault struct {
+	at     sim.Time
+	node   int
+	repair sim.Time
+}
+
+// genFaults draws the node-crash schedule from its own seeded stream
+// (o.seed+2), so enabling faults never perturbs the load generator or the
+// k-choices sampler.
+func genFaults(o options, nodes int) []nodeFault {
+	rng := rand.New(rand.NewSource(o.seed + 2))
+	repair := sim.Time(o.faultMTTRUS) * sim.Microsecond
+	fs := make([]nodeFault, 0, o.faults)
+	for i := 0; i < o.faults; i++ {
+		at := sim.Time(1+rng.Int63n(int64(o.faultSpanUS))) * sim.Microsecond
+		fs = append(fs, nodeFault{at: at, node: rng.Intn(nodes), repair: repair})
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].at != fs[j].at {
+			return fs[i].at < fs[j].at
+		}
+		return fs[i].node < fs[j].node
+	})
+	return fs
+}
+
+func runPolicy(pname string, o options, model *machine.Model, nodes, sockets, cores int, jobs []cluster.Job, faults []nodeFault) (*policyRun, error) {
 	cl, err := cluster.New(model, nodes, sockets, cores)
 	if err != nil {
 		return nil, err
@@ -156,14 +210,29 @@ func runPolicy(pname string, o options, model *machine.Model, nodes, sockets, co
 	if err != nil {
 		return nil, err
 	}
-	sched := cluster.NewScheduler(cl, pol, func(job *cluster.Job, topo *topology.Topology, done func(cluster.JobStats)) {
+	sched := cluster.NewScheduler(cl, pol, func(job *cluster.Job, topo *topology.Topology, done func(cluster.JobStats)) cluster.JobHandle {
 		tm := trace.NewTimings()
-		_, err := caf.LaunchOn(cl, topo, caf.Config{}, fmt.Sprintf("%s/job%d", pname, job.ID),
-			jobBody(*job, tm), func(caf.Report) { done(jobStats(tm)) })
+		h, err := caf.LaunchOn(cl, topo, caf.Config{}, fmt.Sprintf("%s/job%d", pname, job.ID),
+			jobBody(*job, tm), func(rep caf.Report) {
+				st := jobStats(tm)
+				st.FailedImages = len(rep.Failures)
+				done(st)
+			})
 		if err != nil {
 			panic(fmt.Sprintf("clustersim: launching %v: %v", job, err))
 		}
+		return h
 	})
+	if len(faults) > 0 {
+		sched.SetRetry(cluster.RetryPolicy{
+			Max:  o.retryMax,
+			Base: sim.Time(o.retryBaseUS) * sim.Microsecond,
+			Cap:  sim.Time(o.retryCapUS) * sim.Microsecond,
+		})
+		for _, f := range faults {
+			sched.FailNode(f.at, f.node, f.repair)
+		}
+	}
 	sched.Submit(jobs)
 	if err := cl.Env().Run(0); err != nil {
 		return nil, fmt.Errorf("policy %s: %w", pname, err)
@@ -292,6 +361,45 @@ func printCollectives(w io.Writer, runs []*policyRun, ideal bool) {
 			}
 			fmt.Fprintf(w, "%-12s %-16s %10.1f %10.1f %8.2fx\n",
 				kind, pr.name, us(shared.PerOp()), us(id.PerOp()), penalty)
+		}
+	}
+}
+
+func printFaults(w io.Writer, o options, faults []nodeFault) {
+	fmt.Fprintf(w, "\n== fault scenario: %d node crash(es), retry max %d backoff %d..%dus ==\n",
+		len(faults), o.retryMax, o.retryBaseUS, o.retryCapUS)
+	for _, f := range faults {
+		if f.repair > 0 {
+			fmt.Fprintf(w, "  t=%8.1fus  node %2d crashes, repaired after %.1fus\n",
+				us(float64(f.at)), f.node, us(float64(f.repair)))
+		} else {
+			fmt.Fprintf(w, "  t=%8.1fus  node %2d crashes, never repaired\n", us(float64(f.at)), f.node)
+		}
+	}
+}
+
+func printFaultSummaries(w io.Writer, runs []*policyRun) {
+	fmt.Fprintf(w, "\n== goodput under faults ==\n")
+	fmt.Fprintf(w, "%-16s %9s %6s %7s %14s %12s %8s\n",
+		"policy", "completed", "gaveup", "retries", "wasted(core-us)", "avg-mttr(us)", "goodput%")
+	for _, pr := range runs {
+		sm := pr.summary
+		fmt.Fprintf(w, "%-16s %9d %6d %7d %14.1f %12.1f %8.1f\n",
+			pr.name, sm.Completed, sm.GaveUp, sm.Retries,
+			us(float64(sm.WastedCoreNS)), us(sm.AvgMTTR), 100*sm.Goodput)
+	}
+	fmt.Fprintf(w, "\n== per-job retries ==\n")
+	for _, pr := range runs {
+		for _, r := range pr.results {
+			if r.Attempts <= 1 && !r.GaveUp {
+				continue
+			}
+			state := "recovered"
+			if r.GaveUp {
+				state = "GAVE UP"
+			}
+			fmt.Fprintf(w, "  %-16s %-34s attempts %d  mttr %8.1fus  %s\n",
+				pr.name, r.Job.String(), r.Attempts, us(float64(r.MTTR())), state)
 		}
 	}
 }

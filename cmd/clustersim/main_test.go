@@ -71,6 +71,62 @@ func TestSeededDeterminism(t *testing.T) {
 	}
 }
 
+func faultOptions() options {
+	o := testOptions()
+	o.faults = 2
+	o.faultSpanUS = 300
+	o.faultMTTRUS = 150
+	o.retryMax = 3
+	o.retryBaseUS = 20
+	o.retryCapUS = 160
+	return o
+}
+
+// TestFaultSmoke runs the -faults scenario: the fault timeline and goodput
+// tables render, every policy's scheduler drains without deadlock, and no
+// job is lost (completed + gave-up = submitted).
+func TestFaultSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSim(faultOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== fault scenario: 2 node crash(es)",
+		"crashes, repaired after",
+		"== goodput under faults ==",
+		"== per-job retries ==",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "UNPLACED") {
+		t.Errorf("jobs were left unplaced (scheduler wedged?):\n%s", out)
+	}
+}
+
+// TestFaultDeterminism: the same seed must yield a byte-identical fault
+// timeline and goodput/retry/MTTR tables; a different seed must not.
+func TestFaultDeterminism(t *testing.T) {
+	run := func(seed int64) string {
+		o := faultOptions()
+		o.seed = seed
+		var buf bytes.Buffer
+		if err := runSim(o, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(1), run(1)
+	if a != b {
+		t.Fatalf("same seed produced different fault-mode output:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if a == run(2) {
+		t.Fatal("different seeds produced identical fault-mode output")
+	}
+}
+
 // TestBenchOutput checks the benchmark JSON has per-policy collective
 // entries with a contention penalty and a positive events/sec microbench.
 func TestBenchOutput(t *testing.T) {

@@ -48,7 +48,12 @@ type Cluster struct {
 	// coreUsed[n][c] marks core c of node n as allocated to a running job.
 	coreUsed  [][]bool
 	freeCores []int // per node
+	// totalFree counts unallocated cores on *up* nodes only: a down node's
+	// cores exist but cannot be allocated, so they are excluded until repair.
 	totalFree int
+	// down[n] marks node n crashed/draining: no new allocations land there,
+	// and its free cores don't count toward totalFree.
+	down []bool
 
 	// busyCoreNS accumulates core-nanoseconds of completed allocations,
 	// for utilization reporting.
@@ -73,6 +78,7 @@ func NewWithEnv(env *sim.Env, model *machine.Model, nodes, socketsPerNode, cores
 		coresPerSocket: coresPerSocket,
 		freeCores:      make([]int, nodes),
 		totalFree:      nodes * socketsPerNode * coresPerSocket,
+		down:           make([]bool, nodes),
 	}
 	for n := 0; n < nodes; n++ {
 		c.nic = append(c.nic, sim.NewResource(fmt.Sprintf("nic%d", n)))
@@ -125,8 +131,12 @@ func (c *Cluster) FreeCores(n int) int { return c.freeCores[n] }
 // TotalFree returns the number of unallocated cores machine-wide.
 func (c *Cluster) TotalFree() int { return c.totalFree }
 
-// FreeCoreIDs returns the ascending list of unallocated core ids on node n.
+// FreeCoreIDs returns the ascending list of unallocated core ids on node n,
+// or nil when the node is down (a down node offers nothing to place on).
 func (c *Cluster) FreeCoreIDs(n int) []int {
+	if c.down[n] {
+		return nil
+	}
 	var out []int
 	for core, used := range c.coreUsed[n] {
 		if !used {
@@ -136,6 +146,33 @@ func (c *Cluster) FreeCoreIDs(n int) []int {
 	return out
 }
 
+// NodeDown reports whether node n is marked down.
+func (c *Cluster) NodeDown(n int) bool { return c.down[n] }
+
+// MarkNodeDown takes node n out of service: placement policies see no free
+// cores there (FreeCoreIDs returns nil, totalFree drops by the node's free
+// cores) and Allocate rejects locations on it. Cores already allocated to
+// running jobs stay allocated — the jobs' images are the caller's problem
+// (the scheduler kills them); when those jobs release, the freed cores stay
+// out of totalFree until MarkNodeUp. Idempotent.
+func (c *Cluster) MarkNodeDown(n int) {
+	if c.down[n] {
+		return
+	}
+	c.down[n] = true
+	c.totalFree -= c.freeCores[n]
+}
+
+// MarkNodeUp returns a repaired node to service, crediting its free cores
+// back to the allocatable pool. Idempotent.
+func (c *Cluster) MarkNodeUp(n int) {
+	if !c.down[n] {
+		return
+	}
+	c.down[n] = false
+	c.totalFree += c.freeCores[n]
+}
+
 // Allocate marks every (node, core) in locs as owned by a job. It fails
 // without side effects if any location is out of range or already taken —
 // a placement-policy bug, not a transient condition.
@@ -143,6 +180,10 @@ func (c *Cluster) Allocate(locs []topology.Loc) error {
 	for i, l := range locs {
 		if l.Node < 0 || l.Node >= c.nodes || l.Core < 0 || l.Core >= c.CoresPerNode() {
 			return fmt.Errorf("cluster: image %d location %+v outside %dx%d machine", i, l, c.nodes, c.CoresPerNode())
+		}
+		if c.down[l.Node] {
+			c.rollback(locs[:i])
+			return fmt.Errorf("cluster: image %d placed on down node %d", i, l.Node)
 		}
 		if c.coreUsed[l.Node][l.Core] {
 			c.rollback(locs[:i])
@@ -159,7 +200,11 @@ func (c *Cluster) rollback(locs []topology.Loc) {
 	for _, l := range locs {
 		c.coreUsed[l.Node][l.Core] = false
 		c.freeCores[l.Node]++
-		c.totalFree++
+		// A core freed on a down node stays out of the allocatable pool
+		// until MarkNodeUp credits the node's free cores back.
+		if !c.down[l.Node] {
+			c.totalFree++
+		}
 	}
 }
 

@@ -228,12 +228,13 @@ func TestSchedulerLifecycle(t *testing.T) {
 	c := testCluster(t, 2, 1, 2) // 4 cores
 	const runFor = 30 * sim.Microsecond
 	var started []int
-	sched := NewScheduler(c, Packed(), func(job *Job, topo *topology.Topology, done func(JobStats)) {
+	sched := NewScheduler(c, Packed(), func(job *Job, topo *topology.Topology, done func(JobStats)) JobHandle {
 		started = append(started, job.ID)
 		if topo.NumImages() != job.Images {
 			t.Errorf("%v got topology with %d images", job, topo.NumImages())
 		}
 		c.Env().After(runFor, func() { done(JobStats{}) })
+		return nil
 	})
 	jobs := []Job{
 		{ID: 0, Images: 3, Arrival: 0},

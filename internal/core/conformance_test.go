@@ -141,107 +141,117 @@ func confRoot(seed int64, ep, n int) int {
 // the serial reference.
 func runConformanceData(t *testing.T, sc confScenario, k Kind, name string, exclusive bool) {
 	w := sc.world(t)
-	n := w.NumImages()
-	elems := sc.elems
 	w.Run(func(im *pgas.Image) {
-		v := team.Initial(w, im)
-		rng := rand.New(rand.NewSource(sc.seed ^ int64(im.Rank()*2654435761)))
-		for ep := 0; ep < confEpisodes; ep++ {
-			// Random skew so no algorithm can rely on lockstep entry.
-			im.Sleep(pgas.Time(rng.Intn(20000)))
-			root := confRoot(sc.seed, ep, n)
-			label := fmt.Sprintf("%s/%s/%s ep%d rank%d", sc, k, name, ep, v.Rank)
-			mine := confInput(sc.seed, 0, v.Rank, ep, elems)
-			switch k {
-			case KindAllreduce:
-				buf := append([]float64(nil), mine...)
-				RunAllreduce(name, v, buf, coll.Sum)
-				if !confCheck(t, label, buf, confSum(sc.seed, 0, n, ep, elems)) {
-					return
-				}
-			case KindReduceTo:
-				buf := append([]float64(nil), mine...)
-				RunReduceTo(name, v, root, buf, coll.Sum)
-				if v.Rank == root && !confCheck(t, label, buf, confSum(sc.seed, 0, n, ep, elems)) {
-					return
-				}
-			case KindBroadcast:
-				buf := append([]float64(nil), mine...)
-				RunBroadcast(name, v, root, buf)
-				if !confCheck(t, label, buf, confInput(sc.seed, 0, root, ep, elems)) {
-					return
-				}
-			case KindAllgather:
-				out := make([]float64, n*elems)
-				RunAllgather(name, v, mine, out)
-				for r := 0; r < n; r++ {
-					if !confCheck(t, label, out[r*elems:(r+1)*elems], confInput(sc.seed, 0, r, ep, elems)) {
-						return
-					}
-				}
-			case KindScatter:
-				// send is significant only at the root: pass nil elsewhere
-				// to prove no algorithm touches it.
-				var send []float64
-				if v.Rank == root {
-					send = make([]float64, 0, n*elems)
-					for r := 0; r < n; r++ {
-						send = append(send, confInput(sc.seed, 0, r, ep, elems)...)
-					}
-				}
-				recv := make([]float64, elems)
-				RunScatter(name, v, root, send, recv)
-				if !confCheck(t, label, recv, mine) {
-					return
-				}
-			case KindGather:
-				var recv []float64
-				if v.Rank == root {
-					recv = make([]float64, n*elems)
-				}
-				RunGather(name, v, root, mine, recv)
-				if v.Rank == root {
-					for r := 0; r < n; r++ {
-						if !confCheck(t, label, recv[r*elems:(r+1)*elems], confInput(sc.seed, 0, r, ep, elems)) {
-							return
-						}
-					}
-				}
-			case KindAlltoall:
-				send := make([]float64, 0, n*elems)
-				for d := 0; d < n; d++ {
-					// Block src→dst is salted by the destination so every
-					// pair exchanges a distinct vector.
-					send = append(send, confInput(sc.seed, 1+d, v.Rank, ep, elems)...)
-				}
-				recv := make([]float64, n*elems)
-				RunAlltoall(name, v, send, recv)
-				for s := 0; s < n; s++ {
-					if !confCheck(t, label, recv[s*elems:(s+1)*elems], confInput(sc.seed, 1+v.Rank, s, ep, elems)) {
-						return
-					}
-				}
-			case KindScan:
-				buf := append([]float64(nil), mine...)
-				RunScan(name, v, buf, coll.Sum, exclusive)
-				var want []float64
-				switch {
-				case !exclusive:
-					want = confSum(sc.seed, 0, v.Rank+1, ep, elems)
-				case v.Rank == 0:
-					want = mine // exclusive scan leaves rank 0 unchanged
-				default:
-					want = confSum(sc.seed, 0, v.Rank, ep, elems)
-				}
-				if !confCheck(t, label, buf, want) {
-					return
-				}
-			default:
-				t.Errorf("kind %v is not data-bearing", k)
+		runConfEpisodes(t, sc, k, name, exclusive, team.Initial(w, im))
+	})
+}
+
+// runConfEpisodes is the episode loop of runConformanceData, parameterized
+// by the team view it runs on: every member of v calls it collectively.
+// Sizing, ranks and serial references all come from the view, so the same
+// loop verifies a full initial team or a shrunken survivor team (the
+// degraded-mode sweep) — the reference is recomputed over exactly the
+// view's team-relative ranks.
+func runConfEpisodes(t *testing.T, sc confScenario, k Kind, name string, exclusive bool, v *team.View) {
+	im := v.Img
+	n := v.T.Size()
+	elems := sc.elems
+	rng := rand.New(rand.NewSource(sc.seed ^ int64(im.Rank()*2654435761)))
+	for ep := 0; ep < confEpisodes; ep++ {
+		// Random skew so no algorithm can rely on lockstep entry.
+		im.Sleep(pgas.Time(rng.Intn(20000)))
+		root := confRoot(sc.seed, ep, n)
+		label := fmt.Sprintf("%s/%s/%s ep%d rank%d", sc, k, name, ep, v.Rank)
+		mine := confInput(sc.seed, 0, v.Rank, ep, elems)
+		switch k {
+		case KindAllreduce:
+			buf := append([]float64(nil), mine...)
+			RunAllreduce(name, v, buf, coll.Sum)
+			if !confCheck(t, label, buf, confSum(sc.seed, 0, n, ep, elems)) {
 				return
 			}
+		case KindReduceTo:
+			buf := append([]float64(nil), mine...)
+			RunReduceTo(name, v, root, buf, coll.Sum)
+			if v.Rank == root && !confCheck(t, label, buf, confSum(sc.seed, 0, n, ep, elems)) {
+				return
+			}
+		case KindBroadcast:
+			buf := append([]float64(nil), mine...)
+			RunBroadcast(name, v, root, buf)
+			if !confCheck(t, label, buf, confInput(sc.seed, 0, root, ep, elems)) {
+				return
+			}
+		case KindAllgather:
+			out := make([]float64, n*elems)
+			RunAllgather(name, v, mine, out)
+			for r := 0; r < n; r++ {
+				if !confCheck(t, label, out[r*elems:(r+1)*elems], confInput(sc.seed, 0, r, ep, elems)) {
+					return
+				}
+			}
+		case KindScatter:
+			// send is significant only at the root: pass nil elsewhere
+			// to prove no algorithm touches it.
+			var send []float64
+			if v.Rank == root {
+				send = make([]float64, 0, n*elems)
+				for r := 0; r < n; r++ {
+					send = append(send, confInput(sc.seed, 0, r, ep, elems)...)
+				}
+			}
+			recv := make([]float64, elems)
+			RunScatter(name, v, root, send, recv)
+			if !confCheck(t, label, recv, mine) {
+				return
+			}
+		case KindGather:
+			var recv []float64
+			if v.Rank == root {
+				recv = make([]float64, n*elems)
+			}
+			RunGather(name, v, root, mine, recv)
+			if v.Rank == root {
+				for r := 0; r < n; r++ {
+					if !confCheck(t, label, recv[r*elems:(r+1)*elems], confInput(sc.seed, 0, r, ep, elems)) {
+						return
+					}
+				}
+			}
+		case KindAlltoall:
+			send := make([]float64, 0, n*elems)
+			for d := 0; d < n; d++ {
+				// Block src→dst is salted by the destination so every
+				// pair exchanges a distinct vector.
+				send = append(send, confInput(sc.seed, 1+d, v.Rank, ep, elems)...)
+			}
+			recv := make([]float64, n*elems)
+			RunAlltoall(name, v, send, recv)
+			for s := 0; s < n; s++ {
+				if !confCheck(t, label, recv[s*elems:(s+1)*elems], confInput(sc.seed, 1+v.Rank, s, ep, elems)) {
+					return
+				}
+			}
+		case KindScan:
+			buf := append([]float64(nil), mine...)
+			RunScan(name, v, buf, coll.Sum, exclusive)
+			var want []float64
+			switch {
+			case !exclusive:
+				want = confSum(sc.seed, 0, v.Rank+1, ep, elems)
+			case v.Rank == 0:
+				want = mine // exclusive scan leaves rank 0 unchanged
+			default:
+				want = confSum(sc.seed, 0, v.Rank, ep, elems)
+			}
+			if !confCheck(t, label, buf, want) {
+				return
+			}
+		default:
+			t.Errorf("kind %v is not data-bearing", k)
+			return
 		}
-	})
+	}
 }
 
 // TestConformanceRandomized is the randomized sweep entry point.

@@ -1,0 +1,330 @@
+package pgas
+
+// Fault-layer tests on the sim backend: injected kills interrupt blocked and
+// future waits, panics are contained and recorded, silent deaths surface
+// through heartbeats or timeouts, link faults drop and delay messages, and —
+// critically for the timing-asserting rest of the suite — the zero
+// DetectConfig schedules no timer events at all.
+
+import (
+	"testing"
+)
+
+// catchFailed runs f and returns the *FailedImageError it panicked with
+// (nil if f returned normally). Any other panic propagates.
+func catchFailed(f func()) (err *FailedImageError) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e := AsFailedImageError(r); e != nil {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// TestSimKillInterruptsBlockedWait: a waiter already blocked on the victim's
+// flag observes the announced kill as *FailedImageError, not a hang.
+func TestSimKillInterruptsBlockedWait(t *testing.T) {
+	w := newTestWorld(t, 2, 2)
+	const victim = 3
+	if err := w.InjectFaults(&FaultPlan{Events: []FaultEvent{
+		{At: 50 * Microsecond, Kind: FaultKillImage, Image: victim},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	observed := make([]bool, w.NumImages())
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "never", 1)
+		if im.Rank() == victim {
+			im.Sleep(Second) // still asleep at kill time
+			t.Errorf("victim survived its kill")
+			return
+		}
+		err := catchFailed(func() { im.WaitFlagGE(fl, im.Rank(), 0, 1) })
+		if err == nil {
+			t.Errorf("rank %d wait returned without observing the kill", im.Rank())
+			return
+		}
+		if len(err.Failed) != 1 || err.Failed[0] != victim || err.Timeout {
+			t.Errorf("rank %d observed %v", im.Rank(), err)
+		}
+		observed[im.Rank()] = true
+	})
+	for r, ok := range observed {
+		if r != victim && !ok {
+			t.Errorf("rank %d never observed the failure", r)
+		}
+	}
+	fails := w.Failures()
+	if len(fails) != 1 || fails[0].Rank != victim || fails[0].Cause != CauseKilled {
+		t.Fatalf("failures = %+v", fails)
+	}
+	if got := w.FailedImages(); len(got) != 1 || got[0] != victim {
+		t.Fatalf("FailedImages = %v", got)
+	}
+}
+
+// TestSimKillInterruptsLaterWait: an image that is busy computing when the
+// kill is announced must still observe it at its *next* wait — the
+// announcement is sticky until acknowledged, not a one-shot wake.
+func TestSimKillInterruptsLaterWait(t *testing.T) {
+	w := newTestWorld(t, 2, 2)
+	const victim = 0
+	if err := w.InjectFaults(&FaultPlan{Events: []FaultEvent{
+		{At: 10 * Microsecond, Kind: FaultKillImage, Image: victim},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "never", 1)
+		switch im.Rank() {
+		case victim:
+			im.Sleep(Second)
+		default:
+			// Long past the announcement, enter a fresh wait.
+			im.Sleep(Millisecond)
+			if err := catchFailed(func() { im.WaitFlagGE(fl, im.Rank(), 0, 1) }); err == nil {
+				t.Errorf("rank %d: wait entered after the announcement hung or completed", im.Rank())
+			}
+		}
+	})
+}
+
+// TestSimAckFailuresUnblocksSurvivors: after acknowledging the announced
+// failure, survivor-only synchronization completes normally.
+func TestSimAckFailuresUnblocksSurvivors(t *testing.T) {
+	w := newTestWorld(t, 2, 2)
+	const victim = 3
+	if err := w.InjectFaults(&FaultPlan{Events: []FaultEvent{
+		{At: 10 * Microsecond, Kind: FaultKillImage, Image: victim},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "pair", w.NumImages())
+		if im.Rank() == victim {
+			im.Sleep(Second)
+			return
+		}
+		im.AwaitFailedImages(1)
+		epoch := w.FailureEpoch()
+		im.AckFailuresUpTo(epoch)
+		// Survivors 0,1,2 ring-notify each other; all waits must complete.
+		next := (im.Rank() + 1) % 3
+		im.NotifyAdd(fl, next, next, 1, ViaAuto)
+		if err := catchFailed(func() { im.WaitFlagGE(fl, im.Rank(), im.Rank(), 1) }); err != nil {
+			t.Errorf("rank %d: survivor wait interrupted after ack: %v", im.Rank(), err)
+		}
+	})
+}
+
+// TestSimKillNodeKillsAllImagesThere: FaultKillNode takes down every image
+// on the node and survivors see the full failed set.
+func TestSimKillNodeKillsAllImagesThere(t *testing.T) {
+	w := newTestWorld(t, 2, 2) // node 0: ranks 0,1; node 1: ranks 2,3
+	if err := w.InjectFaults(&FaultPlan{Events: []FaultEvent{
+		{At: 10 * Microsecond, Kind: FaultKillNode, Node: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(im *Image) {
+		if im.Node() == 1 {
+			im.Sleep(Second)
+			return
+		}
+		got := im.AwaitFailedImages(2)
+		if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+			t.Errorf("rank %d failed set = %v, want [2 3]", im.Rank(), got)
+		}
+	})
+	if len(w.Failures()) != 2 {
+		t.Fatalf("failures = %+v", w.Failures())
+	}
+}
+
+// TestSimPanicContained: with ContainPanics a panicking image becomes an
+// announced failure carrying the panic value; peers observe it.
+func TestSimPanicContained(t *testing.T) {
+	w := newTestWorld(t, 1, 4)
+	w.ContainPanics()
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "never", 1)
+		if im.Rank() == 2 {
+			im.Sleep(5 * Microsecond)
+			panic("boom")
+		}
+		if err := catchFailed(func() { im.WaitFlagGE(fl, im.Rank(), 0, 1) }); err == nil {
+			t.Errorf("rank %d did not observe the panic", im.Rank())
+		}
+	})
+	fails := w.Failures()
+	if len(fails) != 1 || fails[0].Rank != 2 || fails[0].Cause != CausePanic || fails[0].PanicValue != "boom" {
+		t.Fatalf("failures = %+v", fails)
+	}
+}
+
+// TestSimPanicPropagatesWithoutContainment pins the legacy contract: a raw
+// world without fault machinery re-raises image panics to the driver.
+func TestSimPanicPropagatesWithoutContainment(t *testing.T) {
+	w := newTestWorld(t, 1, 2)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("driver recovered %v, want boom", r)
+		}
+	}()
+	w.Run(func(im *Image) {
+		if im.Rank() == 0 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Run returned despite image panic")
+}
+
+// TestSimSilentKillHeartbeatDetection: a silent kill is invisible to
+// announcements; the heartbeat monitor detects the stale stamp and
+// announces with CauseHeartbeat.
+func TestSimSilentKillHeartbeatDetection(t *testing.T) {
+	w := newTestWorld(t, 2, 2)
+	w.SetDetect(DetectConfig{Heartbeat: 100 * Microsecond})
+	const victim = 1
+	if err := w.InjectFaults(&FaultPlan{Events: []FaultEvent{
+		{At: 50 * Microsecond, Kind: FaultKillImage, Image: victim, Silent: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "never", 1)
+		if im.Rank() == victim {
+			im.Sleep(Second)
+			return
+		}
+		err := catchFailed(func() { im.WaitFlagGE(fl, im.Rank(), 0, 1) })
+		if err == nil || err.Timeout {
+			t.Errorf("rank %d: want heartbeat-announced failure, got %v", im.Rank(), err)
+		}
+	})
+	fails := w.Failures()
+	if len(fails) != 1 || fails[0].Rank != victim || fails[0].Cause != CauseHeartbeat {
+		t.Fatalf("failures = %+v", fails)
+	}
+	// Detection cannot precede staleness: kill + 3 heartbeat periods.
+	if fails[0].At < 350*Microsecond {
+		t.Fatalf("heartbeat detection at %d, before staleness threshold", fails[0].At)
+	}
+}
+
+// TestSimWaitTimeout: with no announcement to blame, a bounded wait raises
+// Timeout instead of hanging (and records no failure).
+func TestSimWaitTimeout(t *testing.T) {
+	w := newTestWorld(t, 1, 2)
+	w.SetDetect(DetectConfig{WaitTimeout: 200 * Microsecond})
+	w.Run(func(im *Image) {
+		if im.Rank() != 0 {
+			return
+		}
+		fl := NewFlags(w, "never", 1)
+		start := im.Now()
+		err := catchFailed(func() { im.WaitFlagGE(fl, 0, 0, 1) })
+		if err == nil || !err.Timeout {
+			t.Fatalf("want timeout error, got %v", err)
+		}
+		if im.Now()-start != 200*Microsecond {
+			t.Errorf("timed out after %d, want exactly the configured timeout", im.Now()-start)
+		}
+	})
+	if len(w.Failures()) != 0 {
+		t.Fatalf("timeout recorded a failure: %+v", w.Failures())
+	}
+}
+
+// TestSimLinkDropLosesNotifyButDrainsQuiet: a certain-drop link loses the
+// notify (the waiter times out) while the sender's Quiet still completes —
+// the sender cannot tell its message evaporated.
+func TestSimLinkDropLosesNotifyButDrainsQuiet(t *testing.T) {
+	w := newTestWorld(t, 2, 1) // rank 0 on node 0, rank 1 on node 1
+	w.SetDetect(DetectConfig{WaitTimeout: 500 * Microsecond})
+	if err := w.InjectFaults(&FaultPlan{Seed: 7, Events: []FaultEvent{
+		{At: 0, Kind: FaultLinkDrop, Node: 0, Node2: 1, Factor: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(im *Image) {
+		fl := NewFlags(w, "dropped", 1)
+		if im.Rank() == 0 {
+			im.NotifyAdd(fl, 1, 0, 1, ViaConduit)
+			im.Quiet() // must drain even though the message was dropped
+			return
+		}
+		err := catchFailed(func() { im.WaitFlagGE(fl, 1, 0, 1) })
+		if err == nil || !err.Timeout {
+			t.Errorf("rank 1: want timeout on dropped notify, got %v", err)
+		}
+	})
+}
+
+// TestSimNICDegradeSlowsTraffic: degrading a node's NIC makes the same
+// exchange take longer than on a healthy machine.
+func TestSimNICDegradeSlowsTraffic(t *testing.T) {
+	exchange := func(w *World) Time {
+		return w.Run(func(im *Image) {
+			fl := NewFlags(w, "x", w.NumImages())
+			other := 1 - im.Rank()
+			for ep := int64(1); ep <= 20; ep++ {
+				im.NotifyAdd(fl, other, other, 1, ViaConduit)
+				im.WaitFlagGE(fl, im.Rank(), im.Rank(), ep)
+			}
+		})
+	}
+	base := exchange(newTestWorld(t, 2, 1))
+	w := newTestWorld(t, 2, 1)
+	if err := w.InjectFaults(&FaultPlan{Events: []FaultEvent{
+		{At: 0, Kind: FaultNICDegrade, Node: 0, Factor: 8},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	slow := exchange(w)
+	if slow <= base {
+		t.Fatalf("degraded NIC finished in %d <= healthy %d", slow, base)
+	}
+}
+
+// TestZeroDetectConfigAddsNoEvents is the timing-neutrality guarantee: a
+// world with the zero DetectConfig (and containment on) must schedule
+// exactly the same simulation events as a world with no fault calls at all,
+// finishing at the identical simulated time.
+func TestZeroDetectConfigAddsNoEvents(t *testing.T) {
+	run := func(configure func(w *World)) (Time, int64) {
+		w := newTestWorld(t, 2, 4)
+		configure(w)
+		end := w.Run(func(im *Image) {
+			fl := NewFlags(w, "ring", w.NumImages())
+			next := (im.Rank() + 1) % w.NumImages()
+			for ep := int64(1); ep <= 10; ep++ {
+				im.NotifyAdd(fl, next, next, 1, ViaAuto)
+				im.WaitFlagGE(fl, im.Rank(), im.Rank(), ep)
+			}
+		})
+		env := simW(w).env
+		return end, env.Events()
+	}
+	baseEnd, baseEvents := run(func(w *World) {})
+	zeroEnd, zeroEvents := run(func(w *World) {
+		w.ContainPanics()
+		w.SetDetect(DetectConfig{})
+	})
+	if baseEnd != zeroEnd || baseEvents != zeroEvents {
+		t.Fatalf("zero DetectConfig changed the simulation: end %d/%d events %d/%d",
+			baseEnd, zeroEnd, baseEvents, zeroEvents)
+	}
+	// Sanity: a *non-zero* timeout on the same program leaves timing alone
+	// too (all cancelable timers are canceled without advancing the clock),
+	// proving the cancelable-event machinery is free when unused.
+	toEnd, _ := run(func(w *World) { w.SetDetect(DetectConfig{WaitTimeout: Second}) })
+	if toEnd != baseEnd {
+		t.Fatalf("unused wait timeouts stretched the run: end %d, want %d", toEnd, baseEnd)
+	}
+}

@@ -2,6 +2,7 @@ package pgas
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cafteams/internal/cluster"
 	"cafteams/internal/machine"
@@ -41,6 +42,9 @@ type simWorld struct {
 // simImage is the sim backend's per-image state.
 type simImage struct {
 	proc *sim.Proc
+	// hb is the image's heartbeat stamper process, when heartbeats are
+	// enabled; killed together with the image so its stamps go stale.
+	hb *sim.Proc
 
 	// outstanding counts issued-but-undelivered one-sided operations;
 	// Quiet waits for it to reach zero.
@@ -135,6 +139,107 @@ func (simTransport) Launch(w *World, body func(*Image)) {
 			body(img)
 		})
 	}
+	fc := w.faults
+	if fc.plan != nil {
+		for _, ev := range fc.plan.Events {
+			scheduleFaultEvent(w, sw, ev)
+		}
+	}
+	if fc.cfg.Heartbeat > 0 {
+		startSimHeartbeats(w, sw)
+	}
+}
+
+// scheduleFaultEvent turns one FaultPlan entry into event-queue entries.
+func scheduleFaultEvent(w *World, sw *simWorld, ev FaultEvent) {
+	fc := w.faults
+	switch ev.Kind {
+	case FaultKillImage:
+		sw.env.Schedule(ev.At, func() { simKill(w, ev.Image, ev.Silent) })
+	case FaultKillNode:
+		sw.env.Schedule(ev.At, func() {
+			for _, im := range w.images {
+				if im.node == ev.Node {
+					simKill(w, im.rank, ev.Silent)
+				}
+			}
+		})
+	case FaultNICDegrade:
+		node, factor := ev.Node, ev.Factor
+		sw.env.Schedule(ev.At, func() { fc.nicFactor[node] = factor })
+		if ev.Duration > 0 {
+			sw.env.Schedule(ev.At+ev.Duration, func() { fc.nicFactor[node] = 1 })
+		}
+	case FaultLinkDelay:
+		key, d := [2]int{ev.Node, ev.Node2}, ev.Delay
+		sw.env.Schedule(ev.At, func() { fc.linkDelay[key] = d })
+		if ev.Duration > 0 {
+			sw.env.Schedule(ev.At+ev.Duration, func() { delete(fc.linkDelay, key) })
+		}
+	case FaultLinkDrop:
+		key, p := [2]int{ev.Node, ev.Node2}, ev.Factor
+		sw.env.Schedule(ev.At, func() { fc.linkDrop[key] = p })
+		if ev.Duration > 0 {
+			sw.env.Schedule(ev.At+ev.Duration, func() { delete(fc.linkDrop, key) })
+		}
+	}
+}
+
+// simKill terminates image rank in simulation context; non-silent kills are
+// announced immediately (a cluster manager broadcasting the death), silent
+// ones are left for heartbeats or wait timeouts to discover.
+func simKill(w *World, rank int, silent bool) {
+	fc := w.faults
+	if fc.isDone(rank) || fc.isDead(rank) {
+		return
+	}
+	simTransport{}.Kill(w, rank)
+	if !silent {
+		fc.announce(rank, simW(w).env.Now(), CauseKilled, nil)
+	}
+}
+
+// startSimHeartbeats spawns one stamper process per image plus a monitor
+// that announces images whose stamps go stale (a killed image's stamper is
+// killed with it, so silent deaths surface after ~3 heartbeat periods).
+// All heartbeat processes terminate once every image is done or failed.
+func startSimHeartbeats(w *World, sw *simWorld) {
+	fc := w.faults
+	h := fc.cfg.Heartbeat
+	for _, im := range w.images {
+		atomic.StoreInt64(&fc.hbStamp[im.rank], sw.env.Now())
+	}
+	for _, im := range w.images {
+		im := im
+		si := simI(im)
+		si.hb = sw.env.Spawn(fmt.Sprintf("%shb%d", w.label, im.rank), func(p *sim.Proc) {
+			for !fc.isDone(im.rank) && !fc.isDead(im.rank) {
+				atomic.StoreInt64(&fc.hbStamp[im.rank], p.Now())
+				p.Sleep(h)
+			}
+		})
+	}
+	sw.env.Spawn(w.label+"hbmon", func(p *sim.Proc) {
+		stale := fc.cfg.staleAfter()
+		for {
+			watching := false
+			for _, im := range w.images {
+				r := im.rank
+				if fc.isDone(r) || fc.isFailed(r) {
+					continue
+				}
+				if p.Now()-atomic.LoadInt64(&fc.hbStamp[r]) > stale {
+					fc.announce(r, p.Now(), CauseHeartbeat, nil)
+					continue
+				}
+				watching = true
+			}
+			if !watching {
+				return
+			}
+			p.Sleep(h)
+		}
+	})
 }
 
 func (simTransport) Drive(w *World) Time {
@@ -156,6 +261,36 @@ func (simTransport) MemWork(im *Image, nbytes int) {
 // every mutation of rank's flag rows.
 func (sw *simWorld) wake(rank int) {
 	sw.rowCond[rank].Wake(sw.env)
+}
+
+// simWait blocks im on c until pred holds, raising a *FailedImageError when
+// a failure announcement (epoch change) or the configured wait timeout
+// releases the wait first. With the zero DetectConfig and no failures the
+// wake pattern — and therefore the event stream — is identical to a plain
+// c.Wait: the extra disjuncts never fire and no timer event is scheduled.
+func simWait(im *Image, c *sim.Cond, why string, pred func() bool) {
+	sw := simW(im.w)
+	fc := im.w.faults
+	proc := simI(im).proc
+	// Interrupt on any announcement this image has not acknowledged — not
+	// just ones newer than the wait: an unacked dead peer may be the very
+	// image whose notify we are waiting for (see faultCtx.ackEpoch).
+	ep0 := fc.ackEpoch[im.rank]
+	timedOut := false
+	if to := fc.cfg.WaitTimeout; to > 0 {
+		cancel := sw.env.AfterCancelable(to, func() {
+			timedOut = true
+			c.Wake(sw.env)
+		})
+		defer cancel()
+	}
+	c.Wait(proc, why, func() bool {
+		return pred() || timedOut || fc.epochLoad() != ep0
+	})
+	if pred() {
+		return
+	}
+	panic(fc.failError(why, timedOut))
 }
 
 // route computes the delivery time of a message of n payload bytes from im
@@ -191,11 +326,17 @@ func route(im *Image, target int, n int, via Via) sim.Time {
 	default:
 		// Inter-node: sender NIC injection, wire, receiver NIC (the
 		// receive-side occupancy is zero for pure RDMA-write conduits).
+		// Injected NIC degradation inflates the occupancy at either end;
+		// an injected link delay stretches the wire.
+		fc := w.faults
 		proc.Sleep(m.Net.O)
 		now := proc.Now()
 		sdur := m.Net.G + m.Net.ByteTime(n)
+		if f := fc.nicFactorNow(im.node) * fc.nicFactorNow(dstNode); f != 1 {
+			sdur = Time(float64(sdur) * f)
+		}
 		start := sw.nic[im.node].Occupy(now, sdur)
-		arrive := start + sdur + m.Net.L
+		arrive := start + sdur + m.Net.L + fc.linkDelayNow(im.node, dstNode)
 		if m.RecvG == 0 {
 			return arrive
 		}
@@ -219,11 +360,28 @@ func deliverAt(im *Image, t sim.Time, fn func()) {
 
 func (simTransport) Quiet(im *Image) {
 	si := simI(im)
-	si.quietCond.Wait(si.proc, "quiet", func() bool { return si.outstanding == 0 })
+	simWait(im, &si.quietCond, "quiet", func() bool { return si.outstanding == 0 })
+}
+
+// simDropped decides whether one logical inter-node operation from im to
+// target is lost on the wire. Dropped operations still count as injected
+// (and drain for Quiet): the sender believes the NIC took them; only the
+// receiver never hears, which is what makes loss detectable solely by
+// timeout or heartbeat.
+func simDropped(im *Image, target int) bool {
+	dst := im.w.topo.NodeOf(target)
+	if dst == im.node {
+		return false
+	}
+	return im.w.faults.dropNow(im.node, dst)
 }
 
 func (simTransport) Put(im *Image, target, nbytes int, via Via, commit func()) {
 	deliver := route(im, target, nbytes, via)
+	if simDropped(im, target) {
+		deliverAt(im, deliver, func() {})
+		return
+	}
 	deliverAt(im, deliver, commit)
 }
 
@@ -246,25 +404,32 @@ func (simTransport) Get(im *Image, target, nbytes int, commit func()) {
 		commit()
 		return
 	}
-	// Remote get: small request out, payload back.
+	// Remote get: small request out, payload back. A drop on either
+	// direction loses the round trip; only a timeout or failure
+	// announcement releases the waiter then.
 	proc.Sleep(m.Net.O)
+	dstNode := w.topo.NodeOf(target)
+	why := fmt.Sprintf("get from %d", target)
+	fc := w.faults
+	if fc.dropNow(im.node, dstNode) || fc.dropNow(dstNode, im.node) {
+		simWait(im, &sw.rowCond[im.rank], why, func() bool { return false })
+		return
+	}
 	now := proc.Now()
 	reqDur := m.Net.G
 	reqStart := sw.nic[im.node].Occupy(now, reqDur)
 	reqArrive := reqStart + reqDur + m.Net.L
-	dstNode := w.topo.NodeOf(target)
 	respDur := m.Net.G + m.Net.ByteTime(nbytes)
 	respStart := sw.nic[dstNode].Occupy(reqArrive, respDur)
 	back := respStart + respDur + m.Net.L
 	bstart := sw.nic[im.node].Occupy(back, m.Net.G)
 	done := false
-	var cnd sim.Cond
 	sw.env.Schedule(bstart+m.Net.G, func() {
 		commit()
 		done = true
-		cnd.Wake(sw.env)
+		sw.wake(im.rank)
 	})
-	cnd.Wait(proc, fmt.Sprintf("get from %d", target), func() bool { return done })
+	simWait(im, &sw.rowCond[im.rank], why, func() bool { return done })
 }
 
 func (simTransport) PutThenNotify(im *Image, target, nbytes int, via Via, commit func(), f *Flags, idx int, delta int64) {
@@ -273,6 +438,14 @@ func (simTransport) PutThenNotify(im *Image, target, nbytes int, via Via, commit
 	deliverFlag := route(im, target, 8, via)
 	if deliverFlag < deliverData {
 		deliverFlag = deliverData // ordered delivery per pair
+	}
+	if simDropped(im, target) {
+		// One drop decision for the pair: losing the payload but landing
+		// the flag would break the ordered-delivery contract the put+flag
+		// idiom rests on.
+		deliverAt(im, deliverData, func() {})
+		deliverAt(im, deliverFlag, func() {})
+		return
 	}
 	deliverAt(im, deliverData, commit)
 	deliverAt(im, deliverFlag, func() {
@@ -284,6 +457,10 @@ func (simTransport) PutThenNotify(im *Image, target, nbytes int, via Via, commit
 func (simTransport) NotifyAdd(im *Image, f *Flags, target, idx int, delta int64, via Via) {
 	sw := simW(im.w)
 	deliver := route(im, target, 8, via)
+	if simDropped(im, target) {
+		deliverAt(im, deliver, func() {})
+		return
+	}
 	deliverAt(im, deliver, func() {
 		f.add(target, idx, delta)
 		sw.wake(target)
@@ -293,6 +470,10 @@ func (simTransport) NotifyAdd(im *Image, f *Flags, target, idx int, delta int64,
 func (simTransport) NotifySet(im *Image, f *Flags, target, idx int, val int64, via Via) {
 	sw := simW(im.w)
 	deliver := route(im, target, 8, via)
+	if simDropped(im, target) {
+		deliverAt(im, deliver, func() {})
+		return
+	}
 	deliverAt(im, deliver, func() {
 		f.storeMax(target, idx, val)
 		sw.wake(target)
@@ -319,12 +500,18 @@ func atomicRoundTrip(im *Image, target, reqBytes int, why string, apply func() i
 		proc.Sleep(start + m.AtomicShm - proc.Now())
 		return apply()
 	}
+	dstNode := w.topo.NodeOf(target)
+	fc := w.faults
+	if fc.dropNow(im.node, dstNode) || fc.dropNow(dstNode, im.node) {
+		// Lost round trip: the remote cell is never mutated, the caller
+		// waits for a timeout or failure announcement.
+		proc.Sleep(m.Net.O)
+		simWait(im, &sw.rowCond[im.rank], why+" response", func() bool { return false })
+	}
 	deliver := route(im, target, reqBytes, ViaConduit)
 	var old int64
 	done := false
-	var c sim.Cond
 	deliverAt(im, deliver, func() { old = apply() })
-	dstNode := w.topo.NodeOf(target)
 	rdur := m.Net.G + m.Net.ByteTime(8)
 	rstart := sw.nic[dstNode].Occupy(deliver, rdur)
 	back := rstart + rdur + m.Net.L
@@ -337,9 +524,9 @@ func atomicRoundTrip(im *Image, target, reqBytes int, why string, apply func() i
 	}
 	sw.env.Schedule(at, func() {
 		done = true
-		c.Wake(sw.env)
+		sw.wake(im.rank)
 	})
-	c.Wait(proc, why+" response", func() bool { return done })
+	simWait(im, &sw.rowCond[im.rank], why+" response", func() bool { return done })
 	return old
 }
 
@@ -365,16 +552,37 @@ func (simTransport) CompareAndSwap(im *Image, f *Flags, target, idx int, expecte
 
 func (simTransport) WaitFlagGE(im *Image, f *Flags, owner, idx int, min int64) {
 	sw := simW(im.w)
-	sw.rowCond[owner].Wait(simI(im).proc,
+	simWait(im, &sw.rowCond[owner],
 		fmt.Sprintf("flag %s[%d][%d]>=%d", f.name, owner, idx, min),
 		func() bool { return f.load(owner, idx) >= min })
 }
 
 func (simTransport) WaitAsync(im *Image, ready func() bool) {
 	sw := simW(im.w)
-	sw.rowCond[im.rank].Wait(simI(im).proc, "async progress", ready)
+	simWait(im, &sw.rowCond[im.rank], "async progress", ready)
 }
 
 func (simTransport) WakeRank(w *World, rank int) {
 	simW(w).wake(rank)
+}
+
+func (simTransport) Kill(w *World, rank int) {
+	w.faults.markDead(rank)
+	si := simI(w.images[rank])
+	if si.proc != nil {
+		si.proc.Kill()
+	}
+	if si.hb != nil {
+		si.hb.Kill()
+	}
+}
+
+func (simTransport) WakeAll(w *World) {
+	sw := simW(w)
+	for r := range sw.rowCond {
+		sw.rowCond[r].Wake(sw.env)
+	}
+	for _, im := range w.images {
+		simI(im).quietCond.Wake(sw.env)
+	}
 }

@@ -96,6 +96,19 @@ type Transport interface {
 	// (un-routed) flag mutation such as SetLocal.
 	WakeRank(w *World, rank int)
 
+	// Kill forcibly terminates image rank's execution: the sim backend
+	// unwinds its simulated process at its current or next blocking point,
+	// the native backend poisons the image so its next runtime call (or
+	// current wait) unwinds its goroutine. Kill only stops execution; the
+	// caller (World.KillImage, the fault plan) decides whether and when the
+	// death is announced.
+	Kill(w *World, rank int)
+	// WakeAll wakes every blocked waiter in the world (all ranks' flag
+	// waiters, Quiet waiters, in-flight Get/atomic waiters) so they
+	// re-check their predicates against the failure state. This is how a
+	// failure announcement or timeout turns a hang into a status.
+	WakeAll(w *World)
+
 	// Immediate reports whether Put commits synchronously in the caller
 	// (shared memory), letting Put skip the staging copy of its payload.
 	Immediate() bool

@@ -87,6 +87,11 @@ type World struct {
 
 	images []*Image
 
+	// faults is the world's failure state: announced failed images, fault
+	// plan, detection timers. Always non-nil; inert until configured (see
+	// fault.go).
+	faults *faultCtx
+
 	// registry holds world-wide named objects (teams, flags, coarrays,
 	// collective scratch state). Creation is once-per-key: on the native
 	// backend many images race to the first use of an allocation, and all
@@ -125,6 +130,7 @@ func newWorld(tr Transport, model *machine.Model, topo *topology.Topology, stats
 			node: topo.NodeOf(r),
 		})
 	}
+	w.faults = newFaultCtx(w)
 	return w
 }
 
@@ -161,8 +167,17 @@ func (w *World) SetLabel(label string) {
 // Launch spawns every image running body and returns after all are
 // started; complete the run with the backend's driver (Env().Run for a
 // shared sim cluster, or World.Run which launches and drives in one call).
+//
+// Every image body runs under a classifier that turns a forced kill or an
+// unrecovered *FailedImageError into a recorded image failure; arbitrary
+// panics are contained too when ContainPanics (or any fault machinery) is
+// enabled, and re-raised to the driver otherwise.
 func (w *World) Launch(body func(img *Image)) {
-	w.tr.Launch(w, body)
+	fc := w.faults
+	w.tr.Launch(w, func(im *Image) {
+		defer func() { fc.imageDone(im, recover()) }()
+		body(im)
+	})
 }
 
 // Run launches body on every image and drives execution to completion,
@@ -170,7 +185,7 @@ func (w *World) Launch(body func(img *Image)) {
 // nanoseconds on the native backend). On the sim backend it panics on
 // simulated deadlock (a correctness bug in the parallel program).
 func (w *World) Run(body func(img *Image)) Time {
-	w.tr.Launch(w, body)
+	w.Launch(body)
 	return w.tr.Drive(w)
 }
 

@@ -37,6 +37,11 @@ func (c *Cond) Wake(e *Env) {
 	}
 	kept := c.waiters[:0]
 	for _, w := range c.waiters {
+		if w.p.done || w.p.killed {
+			// A killed waiter was already force-resumed by Kill; drop its
+			// stale entry so its predicate is never evaluated again.
+			continue
+		}
 		if w.pred() {
 			pw := w.p
 			e.Schedule(e.now, func() { e.runProc(pw) })

@@ -29,9 +29,10 @@ const (
 )
 
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
 }
 
 type eventHeap []*event
@@ -106,6 +107,23 @@ func (e *Env) Schedule(at Time, fn func()) {
 // After registers fn to run d nanoseconds from now.
 func (e *Env) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
 
+// AfterCancelable registers fn to run d nanoseconds from now and returns a
+// cancel function. A canceled event is skipped entirely: it does not run,
+// does not count toward Events, and — unlike a no-op event — does not
+// advance the clock, so speculative timers (wait timeouts) never stretch a
+// simulation's end time. Cancel is idempotent and must be called from the
+// scheduler goroutine, like Schedule.
+func (e *Env) AfterCancelable(d Time, fn func()) (cancel func()) {
+	at := e.now + d
+	if at < e.now { // overflow of a huge timeout
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return func() { ev.canceled = true }
+}
+
 // Proc is a simulated process. All Proc methods must be called from the
 // process's own goroutine while it is the running process.
 type Proc struct {
@@ -114,10 +132,43 @@ type Proc struct {
 	Name   string
 	resume chan struct{}
 	done   bool
+	killed bool
 	// blockedOn describes what the process is waiting for; used in
 	// deadlock reports.
 	blockedOn string
 }
+
+// Killed is the panic value that unwinds a killed process. It is raised the
+// next time the process blocks (or immediately, if it is blocked when Kill
+// fires) and is swallowed by the spawn wrapper: a killed process terminates
+// like a normal one instead of poisoning Run with a re-raised panic.
+// Runtime layers above the kernel may install cleanup with defer/recover;
+// a recover that sees a Killed value should re-panic it unless it fully
+// owns the process's teardown.
+type Killed struct {
+	Proc string // name of the killed process
+}
+
+func (k Killed) String() string { return fmt.Sprintf("sim: process %s killed", k.Proc) }
+
+// Kill marks p as killed and forces it to unwind with a Killed panic at its
+// next (or current) blocking point. Must be called from the scheduler
+// goroutine (inside an event or another process), never from p itself.
+// Killing a finished process is a no-op.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	// Force-resume the process: if it is blocked, it wakes here and the
+	// killed check in block() unwinds it; if it has a pending resume event
+	// (sleeping), it wakes early and unwinds, and the stale resume event
+	// later finds it done and does nothing.
+	p.env.Schedule(p.env.now, func() { p.env.runProc(p) })
+}
+
+// Alive reports whether p has neither finished nor been killed.
+func (p *Proc) Alive() bool { return !p.done && !p.killed }
 
 // Spawn creates a process executing fn. The process starts at the current
 // simulated time, after already-queued events at this timestamp.
@@ -128,12 +179,18 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
-				e.panicked = r
-				e.hasPanic = true
+				if _, wasKill := r.(Killed); !wasKill {
+					e.panicked = r
+					e.hasPanic = true
+				}
 			}
 			p.done = true
 			e.yield <- struct{}{}
 		}()
+		if p.killed {
+			// Killed before it ever ran: terminate without executing fn.
+			panic(Killed{Proc: p.Name})
+		}
 		fn(p)
 	}()
 	e.Schedule(e.now, func() { e.runProc(p) })
@@ -156,6 +213,9 @@ func (p *Proc) block(why string) {
 	p.blockedOn = why
 	p.env.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(Killed{Proc: p.Name})
+	}
 }
 
 // Now returns the current simulated time.
@@ -208,6 +268,9 @@ func (e *Env) Run(limit Time) error {
 			return nil
 		}
 		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
 		e.now = ev.at
 		e.events++
 		ev.fn()
