@@ -34,7 +34,6 @@ import (
 	"cafteams/internal/core"
 	"cafteams/internal/machine"
 	"cafteams/internal/pgas"
-	"cafteams/internal/sim"
 	"cafteams/internal/team"
 	"cafteams/internal/topology"
 	"cafteams/internal/trace"
@@ -217,7 +216,10 @@ func runWithLevel(cfg Config, level core.Level, body func(im *Image)) (Report, e
 	if backend == BackendNative {
 		w = pgas.NewNativeWorld(model, topo, stats)
 	} else {
-		w, err = pgas.NewWorld(sim.NewEnv(), model, topo, stats)
+		// Backend construction stays behind the pgas seam: caf does not
+		// import internal/sim (enforced by internal/lint's layers
+		// analyzer, which replaced PR 5's hand-verified convention).
+		w, err = pgas.NewSimWorld(model, topo, stats)
 		if err != nil {
 			return Report{}, err
 		}

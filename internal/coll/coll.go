@@ -14,6 +14,11 @@
 // idiom: flags are monotone counters and an episode only raises the wait
 // threshold, so each round needs a single wait (the paper's refinement over
 // the two-wait scheme of Hensgen et al.).
+//
+// Like internal/core, this package is backend-agnostic — internal/pgas is
+// its only way down, never internal/sim. The boundary is enforced
+// mechanically by internal/lint's layers analyzer (cmd/caflint under
+// go vet), replacing the old hand-verified convention.
 package coll
 
 import (

@@ -23,6 +23,13 @@
 //     extension the paper lists as future work;
 //   - Policy — runtime selection between flat and hierarchy-aware
 //     algorithms from the team's hierarchy shape.
+//
+// This package is backend-agnostic: it speaks to the runtime only through
+// internal/pgas (the Transport seam) and must never import internal/sim.
+// That boundary used to be a hand-verified review convention; it is now
+// enforced mechanically by internal/lint's layers analyzer (run as
+// cmd/caflint via go vet), so refactors here can lean on CI instead of
+// comment archaeology.
 package core
 
 import (

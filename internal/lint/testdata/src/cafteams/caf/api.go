@@ -1,0 +1,6 @@
+// Fixture for the layers analyzer: the public API must not import the
+// simulator kernel outside tests — backend construction stays behind the
+// pgas seam.
+package caf
+
+import _ "cafteams/internal/sim" // want `must not import`

@@ -1,0 +1,6 @@
+// In-package test files are exempt: conformance tests deliberately drive
+// the sim clock. No want annotation here — if the exemption broke, the
+// finding would surface as an unexpected diagnostic.
+package caf
+
+import _ "cafteams/internal/sim"

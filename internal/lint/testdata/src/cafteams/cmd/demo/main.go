@@ -1,0 +1,12 @@
+// Fixture: cmd/* binaries are in the deterministic set (their report
+// tables are asserted byte-identical across replays), with wall-clock
+// reporting sites opting out explicitly.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now() // want `wall-clock call time\.Now`
+	stop := time.Now()  //caflint:allow wallclock -- fixture: wall-vs-sim reporting
+	_, _ = start, stop
+}

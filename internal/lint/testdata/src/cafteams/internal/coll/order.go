@@ -1,0 +1,63 @@
+// Fixture for the maporder analyzer: map iteration in a deterministic
+// package must not make its (randomized) order observable.
+package coll
+
+import "sort"
+
+func appendEscapes(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `appends to state that outlives the loop`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedIdiom(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // ok: the collect-then-sort idiom is recognized
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sendsOnChannel(m map[int]int, ch chan int) {
+	for _, v := range m { // want `sends on a channel`
+		ch <- v
+	}
+}
+
+type sched struct{}
+
+func (sched) Schedule(at int, fn func()) {}
+
+func ordersEvents(m map[int]int, s sched) {
+	for k := range m { // want `calls Schedule, ordering events`
+		s.Schedule(k, nil)
+	}
+}
+
+func orderIndependentFold(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func perIterationScratch(m map[int][]int) {
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		_ = tmp
+	}
+}
+
+func suppressed(m map[int]int) []int {
+	var out []int
+	//caflint:allow maporder -- fixture: consumer sorts downstream
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+// Fixture for the layers analyzer: internal/core is the backend-agnostic
+// layer — pgas (the Transport seam) is its only way down, and internal/sim
+// and the API layer above are both off limits.
+package core
+
+import (
+	_ "cafteams/caf" // want `must not import`
+	_ "cafteams/internal/pgas"
+	_ "cafteams/internal/sim" // want `must not import`
+)

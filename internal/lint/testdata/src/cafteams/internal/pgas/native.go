@@ -1,0 +1,12 @@
+// Fixture for the file-wide directive scope: a directive above the
+// package clause opts the whole file out, the way the real native
+// backend's wall-clock side does.
+//caflint:allow wallclock -- fixture: native-backend-style file
+
+package pgas
+
+import "time"
+
+func now() int64 { return time.Now().UnixNano() }
+
+func sleep() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,40 @@
+// Fixture for the simdet analyzer: cafteams/internal/sim is a
+// deterministic package, so wall-clock and global-rand entry points are
+// findings, while seeded streams and pure conversions are not.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallclock() {
+	_ = time.Now()   // want `wall-clock call time\.Now`
+	time.Sleep(1)    // want `wall-clock call time\.Sleep`
+	_ = time.Tick(1) // want `wall-clock call time\.Tick`
+
+	f := time.Now // want `wall-clock call time\.Now`
+	_ = f
+
+	t := time.Now() //caflint:allow wallclock -- fixture: trailing directive suppresses its own line
+	_ = t
+
+	//caflint:allow wallclock -- fixture: standalone directive suppresses the next line
+	u := time.Since(time.Time{})
+	_ = u
+}
+
+func globalRand() {
+	_ = rand.Intn(4)     // want `global math/rand\.Intn`
+	rand.Shuffle(1, nil) // want `global math/rand\.Shuffle`
+	_ = rand.Float64()   // want `global math/rand\.Float64`
+}
+
+func sanctioned() {
+	// Explicit seeded streams are the sanctioned pattern.
+	rng := rand.New(rand.NewSource(7))
+	_ = rng.Intn(3)
+	// Pure time arithmetic is fine.
+	var d time.Duration = 5 * time.Microsecond
+	_ = d.Seconds()
+}

@@ -1,0 +1,34 @@
+// Fixture for the statcheck analyzer: results of Stat-returning calls
+// (the failed-image API) must be consumed.
+package statfix
+
+type Stat int
+
+type Image struct{}
+
+func (im *Image) SyncAllStat() Stat { return 0 }
+
+func pair() (int, Stat) { return 0, 0 }
+
+func dropped(im *Image) {
+	im.SyncAllStat()       // want `Stat failure code and is dropped`
+	go im.SyncAllStat()    // want `dropped \(go statement\)`
+	defer im.SyncAllStat() // want `dropped \(deferred call\)`
+	_ = im.SyncAllStat()   // want `discarded into _`
+	_, _ = pair()          // want `discarded into _`
+	n, _ := pair()         // want `discarded into _`
+	_ = n
+}
+
+func used(im *Image) Stat {
+	st := im.SyncAllStat()
+	if im.SyncAllStat() != 0 {
+		return st
+	}
+	_, st2 := pair()
+	if st2 != 0 {
+		return st2
+	}
+	im.SyncAllStat() //caflint:allow stat -- fixture: deliberate drop, justified
+	return st
+}

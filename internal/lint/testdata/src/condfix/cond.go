@@ -1,0 +1,55 @@
+// Fixture for the condloop analyzer: sync.Cond.Wait must sit in a
+// predicate re-check loop.
+package condfix
+
+import "sync"
+
+type state struct {
+	mu   sync.Mutex
+	c    *sync.Cond
+	done bool
+}
+
+func ifGuarded(s *state) {
+	s.mu.Lock()
+	if !s.done {
+		s.c.Wait() // want `sync\.Cond\.Wait outside a for loop`
+	}
+	s.mu.Unlock()
+}
+
+func bare(s *state) {
+	s.c.Wait() // want `outside a for loop`
+}
+
+func closureResets(s *state) {
+	for !s.done {
+		func() {
+			s.c.Wait() // want `outside a for loop`
+		}()
+	}
+}
+
+func predicateLoop(s *state) {
+	s.mu.Lock()
+	for !s.done {
+		s.c.Wait()
+	}
+	s.mu.Unlock()
+}
+
+func nestedInLoop(s *state) {
+	for {
+		if !s.done {
+			s.c.Wait()
+		}
+	}
+}
+
+func waitGroupIsFine(w *sync.WaitGroup) {
+	w.Wait()
+}
+
+func suppressed(s *state) {
+	s.c.Wait() //caflint:allow condloop -- fixture: justified one-shot wait
+}

@@ -1,0 +1,15 @@
+// Fixture: a package outside the deterministic set; simdet and maporder
+// do not apply here.
+package plain
+
+import "time"
+
+func uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func collect(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

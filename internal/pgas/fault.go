@@ -422,6 +422,7 @@ func (w *World) killTime() Time {
 		return sw.env.Now()
 	}
 	if nw, ok := w.ts.(*nativeWorld); ok && !nw.start.IsZero() {
+		//caflint:allow wallclock -- native-backend branch: real elapsed time is the backend's clock
 		return time.Since(nw.start).Nanoseconds()
 	}
 	return 0

@@ -67,6 +67,14 @@ func NewWorld(env *sim.Env, model *machine.Model, topo *topology.Topology, stats
 	return NewWorldOn(hw, topo, stats)
 }
 
+// NewSimWorld is NewWorld on a fresh private sim.Env. It exists so layers
+// above the Transport seam (caf in particular) can ask for the simulated
+// backend without importing internal/sim themselves — a boundary the
+// layers analyzer in internal/lint now enforces mechanically.
+func NewSimWorld(model *machine.Model, topo *topology.Topology, stats *trace.Stats) (*World, error) {
+	return NewWorld(sim.NewEnv(), model, topo, stats)
+}
+
 // NewWorldOn creates a world on an externally owned simulated cluster: the
 // world uses the cluster's environment, model and per-node resources, so its
 // traffic contends with every other world on the same cluster. topo's node

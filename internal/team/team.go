@@ -82,10 +82,12 @@ func build(w *pgas.World, id, number int64, parent *Team, members []int) *Team {
 		n := topo.NodeOf(g)
 		byNode[n] = append(byNode[n], r)
 	}
+	nodes := make([]int, 0, len(byNode))
 	for n := range byNode {
-		t.nodes = append(t.nodes, n)
+		nodes = append(nodes, n)
 	}
-	sort.Ints(t.nodes)
+	sort.Ints(nodes)
+	t.nodes = nodes
 	t.groupOf = make([]int, len(t.members))
 	t.leaderOf = make([]int, len(t.members))
 	t.leaderPos = make(map[int]int)
