@@ -24,7 +24,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/debug"
+	"strconv"
 	"strings"
 
 	"cafteams/internal/bench"
@@ -44,8 +47,31 @@ func main() {
 	elems := flag.Int("elems", 128, "vector elements for -alg sweeps of data collectives")
 	backendFlag := flag.String("backend", "sim", `execution backend: "sim" (modeled cluster, simulated microseconds) or "native" (real goroutines, wall-clock microseconds)`)
 	benchOut := flag.String("bench-out", "", "with -alg: also write a JSON snapshot of the sweep to this file (BENCH_native.json shape)")
+	simbench := flag.Bool("simbench", false, "run the simulator-core microbenchmarks (events/sec, wall per simulated second)")
+	simbenchOut := flag.String("simbench-out", "", "with -simbench: append the run as a labeled entry to this trajectory file (BENCH_sim.json shape)")
+	simbenchLabel := flag.String("simbench-label", "", "label for the -simbench-out trajectory entry")
+	scale := flag.String("scale", "", `extreme-scale study: comma-separated image counts (e.g. "4096,16384,65536"); multi-level topologies, modeled time, byte-deterministic output`)
+	scaleElems := flag.Int("scale-elems", 8, "vector elements for the data collectives of -scale")
+	scaleIters := flag.Int("scale-iters", 2, "episodes per -scale measurement")
+	scaleKinds := flag.String("scale-kinds", "", `with -scale: only these collective kinds (comma-separated, e.g. "barrier,allreduce"); empty = all`)
 	flag.Parse()
 	backend = *backendFlag
+
+	if *simbench {
+		if err := runSimBench(os.Stdout, *simbenchOut, *simbenchLabel); err != nil {
+			fmt.Fprintln(os.Stderr, "teamsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *scale != "" {
+		if err := runScaleStudy(os.Stdout, *scale, *scaleKinds, *scaleElems, *scaleIters); err != nil {
+			fmt.Fprintln(os.Stderr, "teamsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *alg != "" {
 		if err := runAlgSweep(*alg, *algspecs, *elems, *iters, *csv, backend, *benchOut); err != nil {
@@ -80,6 +106,93 @@ func main() {
 // backend is the execution substrate every measurement runs on, set from
 // the -backend flag ("sim" unless overridden).
 var backend = "sim"
+
+// runSimBench runs every simulator-core microbenchmark workload and renders
+// the throughput table; a non-empty out additionally appends the run to the
+// BENCH_sim.json trajectory under label.
+func runSimBench(w io.Writer, out, label string) error {
+	title := "simulator core: events/sec and wall-clock per simulated second"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "  %-18s %10s %14s %14s %14s %14s\n",
+		"workload", "events", "sim_ns", "wall_ns", "events/sec", "wall_s/sim_s")
+	var pts []bench.SimCorePoint
+	for _, wl := range bench.SimCoreWorkloads() {
+		p, err := bench.MeasureSimCore(wl)
+		if err != nil {
+			return err
+		}
+		pts = append(pts, p)
+		fmt.Fprintf(w, "  %-18s %10d %14d %14d %14.0f %14.3f\n",
+			p.Workload, p.Events, p.SimNS, p.WallNS, p.EventsPerSec, p.WallPerSimSec)
+	}
+	if out != "" {
+		if label == "" {
+			label = "unlabeled"
+		}
+		if err := bench.AppendTrajectory(out, label, pts); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nappended entry %q to %s\n", label, out)
+	}
+	return nil
+}
+
+// runScaleStudy runs the extreme-scale sweeps: for each collective kind
+// (all of them, or the -scale-kinds subset), the logarithmic-depth
+// algorithms across the requested image counts on multi-level topologies.
+// Output is modeled time and event counts only — byte-deterministic for a
+// given argument set.
+func runScaleStudy(w io.Writer, ns, kinds string, elems, iters int) error {
+	var images []int
+	for _, f := range strings.Split(ns, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return fmt.Errorf("-scale: %q: %v", f, err)
+		}
+		images = append(images, n)
+	}
+	if len(images) == 0 {
+		return fmt.Errorf("-scale: no image counts given")
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(kinds, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			want[f] = true
+		}
+	}
+	matched := 0
+	for _, ka := range bench.ScaleKindAlgs() {
+		if len(want) > 0 && !want[ka.Kind.String()] {
+			continue
+		}
+		matched++
+		var pts []bench.ScalePoint
+		for _, alg := range ka.Algs {
+			for _, n := range images {
+				p, err := bench.MeasureScale(ka.Kind, alg, n, elems, iters)
+				if err != nil {
+					return err
+				}
+				pts = append(pts, p)
+				// A 64k-image world leaves gigabytes of garbage behind;
+				// hand the pages back before building the next one so
+				// back-to-back large measurements don't ratchet RSS into
+				// the OOM killer.
+				debug.FreeOSMemory()
+			}
+		}
+		bench.ScaleTable(w, ka.Kind.String(), pts)
+		fmt.Fprintln(w)
+	}
+	if len(want) > 0 && matched != len(want) {
+		return fmt.Errorf("-scale-kinds: unknown kind in %q (known: barrier, allreduce, reduceto, bcast, scan)", kinds)
+	}
+	return nil
+}
 
 // measure runs one comparator on the selected backend.
 func measure(spec string, c bench.Comparator, elems, iters int) (bench.Point, error) {

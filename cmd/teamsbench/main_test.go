@@ -171,3 +171,127 @@ func TestNativeExperimentPoint(t *testing.T) {
 		t.Fatalf("native point has non-positive latency: %+v", p)
 	}
 }
+
+// TestSimBenchSmoke: the -simbench path renders one row per sim-core
+// workload with positive event counts.
+func TestSimBenchSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := runSimBench(&buf, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range append(bench.SimCoreWorkloads(), "events/sec", "wall_s/sim_s") {
+		if !strings.Contains(out, want) {
+			t.Fatalf("simbench output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScaleStudyDeterministic: two full -scale sweeps with the same
+// arguments are byte-identical — everything in a scale table is modeled
+// time or event counts, never wall clock. Tier-1 pins small image counts;
+// the 4k shape the README quotes is pinned by TestScaleStudy4kDeterministic.
+func TestScaleStudyDeterministic(t *testing.T) {
+	run := func() string {
+		var buf strings.Builder
+		if err := runScaleStudy(&buf, "64,128", "", 4, 1); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("scale study not byte-deterministic:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+	for _, want := range []string{"barrier", "allreduce", "tdlb", "2level", "log2(N)"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("scale output missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestScaleStudyKindFilter: -scale-kinds restricts the sweep to the named
+// kinds and rejects unknown names.
+func TestScaleStudyKindFilter(t *testing.T) {
+	var buf strings.Builder
+	if err := runScaleStudy(&buf, "64", "barrier", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "scale study: barrier") {
+		t.Fatalf("filtered output missing barrier table:\n%s", out)
+	}
+	if strings.Contains(out, "allreduce") {
+		t.Fatalf("filter leaked other kinds:\n%s", out)
+	}
+	buf.Reset()
+	if err := runScaleStudy(&buf, "64", "nokind", 1, 1); err == nil {
+		t.Fatal("unknown -scale-kinds accepted")
+	}
+}
+
+// TestScaleStudy4kDeterministic: the acceptance-scale run — the full
+// 4096-image sweep across every kind — completes and is byte-deterministic.
+// Costs ~15s per run, so it is skipped under -short.
+func TestScaleStudy4kDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4k scale sweep skipped under -short")
+	}
+	run := func() string {
+		var buf strings.Builder
+		if err := runScaleStudy(&buf, "4096", "", 8, 2); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatal("4k scale study not byte-deterministic across runs")
+	}
+	if !strings.Contains(a, "4096") || !strings.Contains(a, "  512") {
+		t.Fatalf("4k scale output missing expected shape:\n%s", a)
+	}
+}
+
+// TestTrajectoryFileShape validates the checked-in BENCH_sim.json: the
+// sim-core trajectory must parse, carry the canonical workload list, and
+// hold at least the two entries this kernel rework recorded (pre-PR
+// baseline, post-rework) with plausible deterministic fields. The rework's
+// headline claim — ≥2x events/sec on teams-alg-sweep — is pinned as data.
+func TestTrajectoryFileShape(t *testing.T) {
+	tr, err := bench.LoadTrajectory("../../BENCH_sim.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Bench != "sim-core" {
+		t.Fatalf("bench = %q, want sim-core", tr.Bench)
+	}
+	want := bench.SimCoreWorkloads()
+	if len(tr.Workloads) != len(want) {
+		t.Fatalf("workloads = %v, want %v", tr.Workloads, want)
+	}
+	if len(tr.Entries) < 2 {
+		t.Fatalf("trajectory has %d entries, want >= 2 (baseline + rework)", len(tr.Entries))
+	}
+	for _, e := range tr.Entries {
+		if e.Label == "" {
+			t.Fatal("trajectory entry with empty label")
+		}
+		if len(e.Points) != len(want) {
+			t.Fatalf("entry %q has %d points, want %d", e.Label, len(e.Points), len(want))
+		}
+		for i, p := range e.Points {
+			if p.Workload != want[i] {
+				t.Fatalf("entry %q point %d is %q, want %q", e.Label, i, p.Workload, want[i])
+			}
+			if p.Events <= 0 || p.SimNS < 0 || p.WallNS <= 0 || p.EventsPerSec <= 0 {
+				t.Fatalf("entry %q point %+v has implausible fields", e.Label, p)
+			}
+		}
+	}
+	base, rework := tr.Entries[0].Points[0], tr.Entries[1].Points[0]
+	if ratio := rework.EventsPerSec / base.EventsPerSec; ratio < 2 {
+		t.Fatalf("recorded teams-alg-sweep speedup is %.2fx, want >= 2x (baseline %.0f, rework %.0f ev/s)",
+			ratio, base.EventsPerSec, rework.EventsPerSec)
+	}
+}

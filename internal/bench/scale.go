@@ -1,0 +1,123 @@
+package bench
+
+// Extreme-scale studies: how the modeled collective latencies scale as the
+// image count grows far past the paper's 352-image cluster (4k, 16k, 64k
+// images on multi-level topologies). Everything reported here is simulated
+// time and event counts — pure functions of the workload — so scale tables
+// are byte-deterministic and diffable across runs and machines; only the
+// wall-clock cost of *producing* them varies, which is what the sim-core
+// microbenchmarks (simcore.go) track.
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"cafteams/internal/core"
+	"cafteams/internal/machine"
+	"cafteams/internal/pgas"
+	"cafteams/internal/sim"
+	"cafteams/internal/team"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// ScalePerNode is the fixed images-per-node of the scale topologies: every
+// node models 2 sockets x 4 cores, so the two-level and three-level
+// hierarchy-aware algorithms both have real structure to exploit.
+const ScalePerNode = 8
+
+// ScaleKindAlgs lists the collective kinds and algorithms the scale study
+// sweeps: only logarithmic-depth algorithms — the O(N) linear/ring baselines
+// would dominate runtime at 64k images without saying anything new (their
+// slopes are already visible at paper scale).
+func ScaleKindAlgs() []struct {
+	Kind core.Kind
+	Algs []string
+} {
+	return []struct {
+		Kind core.Kind
+		Algs []string
+	}{
+		{core.KindBarrier, []string{"dissemination", "tdlb", "tdlb3"}},
+		{core.KindAllreduce, []string{"rd", "2level"}},
+		{core.KindReduceTo, []string{"binomial", "2level"}},
+		{core.KindBroadcast, []string{"binomial", "2level"}},
+		{core.KindScan, []string{"rd", "2level"}},
+	}
+}
+
+// ScalePoint is one scale-study cell. All fields are deterministic.
+type ScalePoint struct {
+	Kind    string  `json:"kind"`
+	Alg     string  `json:"alg"`
+	Images  int     `json:"images"`
+	Nodes   int     `json:"nodes"`
+	UsPerOp float64 `json:"us_per_op"` // modeled microseconds per episode
+	Events  int64   `json:"events"`    // simulator events for the whole measurement
+}
+
+// MeasureScale runs iters episodes of one registry algorithm on an
+// images-image multi-level topology (ScalePerNode images per node, block
+// placement) and reports the modeled per-episode latency.
+func MeasureScale(k core.Kind, alg string, images, elems, iters int) (ScalePoint, error) {
+	if images%ScalePerNode != 0 {
+		return ScalePoint{}, fmt.Errorf("bench: scale image count %d not a multiple of %d per node", images, ScalePerNode)
+	}
+	nodes := images / ScalePerNode
+	topo, err := topology.New(nodes, 2, ScalePerNode/2, images, topology.PlaceBlock)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	env := sim.NewEnv()
+	w, err := pgas.NewWorld(env, machine.PaperCluster(), topo, trace.New())
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	cmp := RegistryComparator(k, alg)
+	n := elems
+	if k == core.KindBarrier {
+		n = 1
+	}
+	end := w.Run(func(im *pgas.Image) {
+		v := team.Initial(w, im)
+		buf := make([]float64, n)
+		cmp.Run(v, buf, iters)
+	})
+	return ScalePoint{
+		Kind:    k.String(),
+		Alg:     alg,
+		Images:  images,
+		Nodes:   nodes,
+		UsPerOp: float64(end) / float64(iters) / 1000,
+		Events:  env.Events(),
+	}, nil
+}
+
+// ScaleTable renders one kind's scale points as a log-log table: alongside
+// the raw modeled latency it prints log2(images) and log2(us/op), so the
+// scaling exponent is readable as a slope (a dissemination-style algorithm
+// adds ~constant us per doubling; a linear phase doubles with N).
+func ScaleTable(w io.Writer, kind string, pts []ScalePoint) {
+	title := fmt.Sprintf("scale study: %s (%d images/node, multi-level, block placement, modeled time)", kind, ScalePerNode)
+	fmt.Fprintf(w, "%s\n%s\n", title, ruler(len(title)))
+	fmt.Fprintf(w, "  %-16s %8s %7s %12s %9s %10s %12s\n",
+		"alg", "images", "nodes", "us/op", "log2(N)", "log2(us)", "events")
+	last := ""
+	for _, p := range pts {
+		if last != "" && p.Alg != last {
+			fmt.Fprintln(w)
+		}
+		last = p.Alg
+		fmt.Fprintf(w, "  %-16s %8d %7d %12.2f %9.2f %10.2f %12d\n",
+			p.Alg, p.Images, p.Nodes, p.UsPerOp, math.Log2(float64(p.Images)), math.Log2(p.UsPerOp), p.Events)
+	}
+}
+
+func ruler(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '='
+	}
+	return string(b)
+}

@@ -1,0 +1,259 @@
+package bench
+
+// Simulator-core microbenchmarks: how fast the discrete-event kernel itself
+// executes, independent of what the modeled numbers say. Two throughput
+// metrics matter:
+//
+//   - events/sec: executed simulator events per wall-clock second — the raw
+//     speed of the event loop, queue and process handshake;
+//   - wall-seconds per simulated second: how much real time one simulated
+//     second costs on a given workload — the number that bounds how far the
+//     scaling studies (teamsbench -scale) can push image counts.
+//
+// Both are wall-clock measurements and therefore vary run to run; the
+// companion fields (Events, SimNS) are pure functions of the workload and
+// must be byte-identical across runs — the bench-smoke CI step asserts that.
+// The trajectory across PRs is persisted in BENCH_sim.json (see the README's
+// "Benchmarks & trajectory" section).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cafteams/internal/core"
+	"cafteams/internal/machine"
+	"cafteams/internal/pgas"
+	"cafteams/internal/sim"
+	"cafteams/internal/team"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// SimCorePoint is one simulator-core measurement. Events and SimNS are
+// deterministic (same workload ⇒ same values); WallNS and the derived rates
+// are wall-clock and vary run to run.
+type SimCorePoint struct {
+	Workload      string  `json:"workload"`
+	Events        int64   `json:"events"`
+	SimNS         int64   `json:"sim_ns"`
+	WallNS        int64   `json:"wall_ns"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	WallPerSimSec float64 `json:"wall_s_per_sim_s"`
+}
+
+// SimCoreWorkloads lists the microbenchmark workloads in reporting order.
+//
+//   - teams-alg-sweep: representative registry algorithms (flat + 2level
+//     barrier/allreduce/bcast) on the paper's 64(8) placement — the headline
+//     events/sec workload, dominated by route/flag-delivery traffic;
+//   - pingpong: two images on two nodes exchanging flag notifications — the
+//     minimal wait/wake/delivery cycle, most sensitive to per-event and
+//     per-wait overhead;
+//   - fanout-flags: an 8-image node where every image notifies every other —
+//     stresses same-timestamp flag delivery and the pooled delivery records;
+//   - spawn-churn: many short-lived processes sleeping in staggered patterns
+//     — stresses the queue itself (push/pop/sift) and proc resume events.
+func SimCoreWorkloads() []string {
+	return []string{"teams-alg-sweep", "pingpong", "fanout-flags", "spawn-churn"}
+}
+
+// MeasureSimCore runs one named workload to completion and reports the
+// simulator-core throughput achieved.
+func MeasureSimCore(workload string) (SimCorePoint, error) {
+	var fn func() (events int64, simNS int64, err error)
+	switch workload {
+	case "teams-alg-sweep":
+		fn = simCoreAlgSweep
+	case "pingpong":
+		fn = simCorePingpong
+	case "fanout-flags":
+		fn = simCoreFanout
+	case "spawn-churn":
+		fn = simCoreSpawnChurn
+	default:
+		return SimCorePoint{}, fmt.Errorf("bench: unknown sim-core workload %q (want one of %v)", workload, SimCoreWorkloads())
+	}
+	//caflint:allow wallclock -- this is the one place the bench layer times the simulator itself
+	start := time.Now()
+	events, simNS, err := fn()
+	wall := time.Since(start).Nanoseconds()
+	if err != nil {
+		return SimCorePoint{}, err
+	}
+	if wall < 1 {
+		wall = 1
+	}
+	p := SimCorePoint{
+		Workload:     workload,
+		Events:       events,
+		SimNS:        simNS,
+		WallNS:       wall,
+		EventsPerSec: float64(events) / (float64(wall) / 1e9),
+	}
+	if simNS > 0 {
+		p.WallPerSimSec = float64(wall) / float64(simNS)
+	}
+	return p, nil
+}
+
+// SimTrajectory is the BENCH_sim.json document: the simulator-core
+// throughput trajectory across PRs. Each entry is one labeled snapshot (one
+// point per workload); entries are append-only so the history of the kernel
+// rework stays diffable. Events and SimNS in every point are deterministic;
+// the wall-clock fields record what the machine that produced the entry
+// measured and are informational.
+type SimTrajectory struct {
+	Bench     string               `json:"bench"` // always "sim-core"
+	Workloads []string             `json:"workloads"`
+	Entries   []SimTrajectoryEntry `json:"entries"`
+}
+
+// SimTrajectoryEntry is one labeled snapshot of all workloads.
+type SimTrajectoryEntry struct {
+	Label  string         `json:"label"`
+	Points []SimCorePoint `json:"points"`
+}
+
+// LoadTrajectory reads a BENCH_sim.json file.
+func LoadTrajectory(path string) (*SimTrajectory, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr SimTrajectory
+	if err := json.Unmarshal(buf, &tr); err != nil {
+		return nil, fmt.Errorf("bench: %s: %v", path, err)
+	}
+	return &tr, nil
+}
+
+// AppendTrajectory appends one labeled entry to the trajectory at path,
+// creating the file if it does not exist.
+func AppendTrajectory(path, label string, points []SimCorePoint) error {
+	tr, err := LoadTrajectory(path)
+	if os.IsNotExist(err) {
+		tr = &SimTrajectory{Bench: "sim-core", Workloads: SimCoreWorkloads()}
+	} else if err != nil {
+		return err
+	}
+	tr.Entries = append(tr.Entries, SimTrajectoryEntry{Label: label, Points: points})
+	buf, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// simCoreAlgs is the teams-alg-sweep workload's fixed algorithm set: the
+// flat baseline and the hierarchy-aware form of the three paper collectives.
+var simCoreAlgs = []struct {
+	kind core.Kind
+	name string
+}{
+	{core.KindBarrier, "dissemination"},
+	{core.KindBarrier, "tdlb"},
+	{core.KindAllreduce, "rd"},
+	{core.KindAllreduce, "2level"},
+	{core.KindBroadcast, "binomial"},
+	{core.KindBroadcast, "2level"},
+}
+
+func simCoreAlgSweep() (int64, int64, error) {
+	const (
+		spec  = "64(8)"
+		elems = 128
+		iters = 10
+	)
+	var events, simNS int64
+	for _, a := range simCoreAlgs {
+		cmp := RegistryComparator(a.kind, a.name)
+		n := elems
+		if a.kind == core.KindBarrier {
+			n = 1
+		}
+		ev, ns, err := runSimWorkload(spec, func(v *team.View, buf []float64) {
+			cmp.Run(v, buf, iters)
+		}, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		events += ev
+		simNS += ns
+	}
+	return events, simNS, nil
+}
+
+func simCorePingpong() (int64, int64, error) {
+	const rounds = 4000
+	return runSimWorkload("2(2)", func(v *team.View, _ []float64) {
+		im := v.Img
+		w := im.World()
+		fl := pgas.NewFlags(w, "simcore:pingpong", 1)
+		peer := 1 - im.Rank()
+		for i := 1; i <= rounds; i++ {
+			if im.Rank() == 0 {
+				im.NotifyAdd(fl, peer, 0, 1, pgas.ViaConduit)
+				im.WaitFlagGE(fl, im.Rank(), 0, int64(i))
+			} else {
+				im.WaitFlagGE(fl, im.Rank(), 0, int64(i))
+				im.NotifyAdd(fl, peer, 0, 1, pgas.ViaConduit)
+			}
+		}
+	}, 1)
+}
+
+func simCoreFanout() (int64, int64, error) {
+	const rounds = 400
+	return runSimWorkload("8(1)", func(v *team.View, _ []float64) {
+		im := v.Img
+		w := im.World()
+		fl := pgas.NewFlags(w, "simcore:fanout", 1)
+		n := w.NumImages()
+		for i := 1; i <= rounds; i++ {
+			for p := 0; p < n; p++ {
+				if p != im.Rank() {
+					im.NotifyAdd(fl, p, 0, 1, pgas.ViaAuto)
+				}
+			}
+			im.WaitFlagGE(fl, im.Rank(), 0, int64(i*(n-1)))
+		}
+	}, 1)
+}
+
+func simCoreSpawnChurn() (int64, int64, error) {
+	env := sim.NewEnv()
+	const procs = 512
+	for i := 0; i < procs; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("churn%d", i), func(p *sim.Proc) {
+			for j := 0; j < 64; j++ {
+				p.Sleep(sim.Time(1 + (i+j)%7))
+			}
+		})
+	}
+	if err := env.Run(0); err != nil {
+		return 0, 0, err
+	}
+	return env.Events(), env.Now(), nil
+}
+
+// runSimWorkload builds a sim world on spec, runs body on every image, and
+// returns the executed event count and simulated end time.
+func runSimWorkload(spec string, body func(v *team.View, buf []float64), elems int) (int64, int64, error) {
+	topo, err := topology.ParseSpec(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	env := sim.NewEnv()
+	w, err := pgas.NewWorld(env, machine.PaperCluster(), topo, trace.New())
+	if err != nil {
+		return 0, 0, err
+	}
+	end := w.Run(func(im *pgas.Image) {
+		buf := make([]float64, elems)
+		body(team.Initial(w, im), buf)
+	})
+	return env.Events(), end, nil
+}

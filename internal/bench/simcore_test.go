@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSimCoreDeterminism pins the deterministic half of every sim-core
+// point: the event count and simulated end time are pure functions of the
+// workload, so two fresh runs must agree exactly. (The wall-clock fields
+// are measurements and may differ.) This is what lets BENCH_sim.json
+// entries from different machines be compared at all.
+func TestSimCoreDeterminism(t *testing.T) {
+	for _, wl := range SimCoreWorkloads() {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			a, err := MeasureSimCore(wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := MeasureSimCore(wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Events != b.Events || a.SimNS != b.SimNS {
+				t.Fatalf("workload %s not deterministic: run1 events=%d sim_ns=%d, run2 events=%d sim_ns=%d",
+					wl, a.Events, a.SimNS, b.Events, b.SimNS)
+			}
+			if a.Events <= 0 || a.SimNS < 0 {
+				t.Fatalf("workload %s: implausible point %+v", wl, a)
+			}
+		})
+	}
+}
+
+// TestTrajectoryAppendLoad round-trips AppendTrajectory/LoadTrajectory in a
+// temp dir: create-on-first-append, append-on-second, stable workload list.
+func TestTrajectoryAppendLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	pt := SimCorePoint{Workload: "pingpong", Events: 10, SimNS: 20, WallNS: 30, EventsPerSec: 1, WallPerSimSec: 2}
+	if err := AppendTrajectory(path, "first", []SimCorePoint{pt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(path, "second", []SimCorePoint{pt, pt}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Bench != "sim-core" {
+		t.Fatalf("bench = %q, want sim-core", tr.Bench)
+	}
+	if len(tr.Workloads) != len(SimCoreWorkloads()) {
+		t.Fatalf("workloads = %v", tr.Workloads)
+	}
+	if len(tr.Entries) != 2 || tr.Entries[0].Label != "first" || tr.Entries[1].Label != "second" {
+		t.Fatalf("entries = %+v", tr.Entries)
+	}
+	if len(tr.Entries[1].Points) != 2 || tr.Entries[1].Points[0] != pt {
+		t.Fatalf("points did not round-trip: %+v", tr.Entries[1].Points)
+	}
+}
+
+// BenchmarkSimCore exposes every sim-core workload as a standard Go
+// benchmark; the CI bench-smoke step runs it with -benchtime=1x to catch
+// workload rot without paying for real measurement.
+func BenchmarkSimCore(b *testing.B) {
+	for _, wl := range SimCoreWorkloads() {
+		wl := wl
+		b.Run(wl, func(b *testing.B) {
+			var events int64
+			for i := 0; i < b.N; i++ {
+				p, err := MeasureSimCore(wl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = p.Events
+			}
+			b.ReportMetric(float64(events), "events/op")
+		})
+	}
+}

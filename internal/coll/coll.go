@@ -113,7 +113,16 @@ type state struct {
 }
 
 // getState returns the shared state for one algorithm instance on a team.
+// The per-view memo makes repeat calls (one per episode, per image) free of
+// key formatting and registry traffic; the state itself stays team-shared
+// through the world registry.
 func getState(v *team.View, alg string, slots int) *state {
+	return v.Memo(team.MemoKey{Kind: "coll:state", Alg: alg}, func() interface{} {
+		return newState(v, alg, slots)
+	}).(*state)
+}
+
+func newState(v *team.View, alg string, slots int) *state {
 	w := v.Img.World()
 	key := fmt.Sprintf("coll:%s:team%d", alg, v.T.ID())
 	return pgas.LookupOrCreate(w, key, func() interface{} {
@@ -174,20 +183,40 @@ func bucket(n int) int {
 // allocated per size class and element type.
 func scratch[T any](v *team.View, alg string, elems, regions int) (*pgas.Coarray[T], int) {
 	cap_ := bucket(elems)
+	x := v.Memo(team.MemoKey{Kind: "coll:scratch", Alg: alg, N: cap_, M: regions}, func() interface{} {
+		return newScratch[T](v, alg, cap_, regions)
+	})
+	if co, ok := x.(*pgas.Coarray[T]); ok {
+		return co, cap_
+	}
+	// Memo slot taken by another element type for the same (alg, class):
+	// fall through to the registry, which keys on the type as well.
+	return newScratch[T](v, alg, cap_, regions), cap_
+}
+
+func newScratch[T any](v *team.View, alg string, cap_, regions int) *pgas.Coarray[T] {
 	name := fmt.Sprintf("coll:%s:%s:team%d:cap%d", alg, tag[T](), v.T.ID(), cap_)
 	w := v.Img.World()
 	members := make([]int, v.T.Size())
 	copy(members, v.T.Members())
-	co := pgas.NewTeamCoarray[T](w, name, cap_*regions, members)
-	return co, cap_
+	return pgas.NewTeamCoarray[T](w, name, cap_*regions, members)
 }
 
 // rootScratch returns a scratch slab allocated only on the team's root image
 // (for linear gathers: the root needs n regions, nobody else needs any).
 func rootScratch[T any](v *team.View, alg string, elems, regions int) (*pgas.Coarray[T], int) {
 	cap_ := bucket(elems)
+	x := v.Memo(team.MemoKey{Kind: "coll:rootscratch", Alg: alg, N: cap_, M: regions}, func() interface{} {
+		return newRootScratch[T](v, alg, cap_, regions)
+	})
+	if co, ok := x.(*pgas.Coarray[T]); ok {
+		return co, cap_
+	}
+	return newRootScratch[T](v, alg, cap_, regions), cap_
+}
+
+func newRootScratch[T any](v *team.View, alg string, cap_, regions int) *pgas.Coarray[T] {
 	name := fmt.Sprintf("coll:%s:%s:team%d:root:cap%d", alg, tag[T](), v.T.ID(), cap_)
 	w := v.Img.World()
-	co := pgas.NewTeamCoarray[T](w, name, cap_*regions, []int{v.T.GlobalRank(0)})
-	return co, cap_
+	return pgas.NewTeamCoarray[T](w, name, cap_*regions, []int{v.T.GlobalRank(0)})
 }

@@ -254,6 +254,53 @@ func runConfEpisodes(t *testing.T, sc confScenario, k Kind, name string, exclusi
 	}
 }
 
+// TestConformance512MultiLevel pins correctness at extreme-study scale: 512
+// images on a full three-level machine (32 nodes x 2 sockets x 8 cores,
+// block placement), the shape the teamsbench -scale sweeps extrapolate
+// from. Only the logarithmic-depth algorithms run — the linear/ring
+// baselines add O(N^2) runtime at this size without adding coverage (the
+// randomized sweep exercises them at small N).
+func TestConformance512MultiLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-image scenario skipped under -short")
+	}
+	topo, err := topology.New(32, 2, 8, 512, topology.PlaceBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := confScenario{
+		label: "512-multilevel",
+		topo:  topo,
+		elems: 3,
+		seed:  20260808,
+	}
+	algs := map[Kind][]string{
+		KindBarrier:   {"dissemination", "tdlb", "tdlb3"},
+		KindAllreduce: {"rd", "2level", "3level", "nb-2level"},
+		KindReduceTo:  {"binomial", "2level"},
+		KindBroadcast: {"binomial", "2level", "nb-2level"},
+		KindScan:      {"rd", "2level"},
+	}
+	for _, k := range Kinds() {
+		for _, name := range algs[k] {
+			k, name := k, name
+			t.Run(fmt.Sprintf("%s/%s", k, name), func(t *testing.T) {
+				switch {
+				case k == KindBarrier:
+					checkBarrier(t, sc.world(t), fmt.Sprintf("%s/barrier/%s", sc, name),
+						func(v *team.View) { RunBarrier(name, v) }, confEpisodes)
+				case k == KindScan:
+					for _, exclusive := range []bool{false, true} {
+						runConformanceData(t, sc, k, name, exclusive)
+					}
+				default:
+					runConformanceData(t, sc, k, name, false)
+				}
+			})
+		}
+	}
+}
+
 // TestConformanceRandomized is the randomized sweep entry point.
 func TestConformanceRandomized(t *testing.T) {
 	seed := conformanceEnv(t, "CAF_CONFORMANCE_SEED", 20260729)

@@ -51,13 +51,15 @@ type tdlbState struct {
 }
 
 func getTDLBState(v *team.View, alg string, extra int) *tdlbState {
-	w := v.Img.World()
-	key := fmt.Sprintf("core:%s:team%d", alg, v.T.ID())
-	return pgas.LookupOrCreate(w, key, func() interface{} {
-		return &tdlbState{
-			flags: pgas.NewFlags(w, key, 2+extra),
-			ep:    make([]int64, v.T.Size()),
-		}
+	return v.Memo(team.MemoKey{Kind: "core:tdlb", Alg: alg}, func() interface{} {
+		w := v.Img.World()
+		key := fmt.Sprintf("core:%s:team%d", alg, v.T.ID())
+		return pgas.LookupOrCreate(w, key, func() interface{} {
+			return &tdlbState{
+				flags: pgas.NewFlags(w, key, 2+extra),
+				ep:    make([]int64, v.T.Size()),
+			}
+		})
 	}).(*tdlbState)
 }
 

@@ -33,6 +33,12 @@ type redState struct {
 }
 
 func getRedState(v *team.View, alg string) *redState {
+	return v.Memo(team.MemoKey{Kind: "core:red", Alg: alg}, func() interface{} {
+		return newRedState(v, alg)
+	}).(*redState)
+}
+
+func newRedState(v *team.View, alg string) *redState {
 	w := v.Img.World()
 	key := fmt.Sprintf("core:%s:team%d", alg, v.T.ID())
 	return pgas.LookupOrCreate(w, key, func() interface{} {
@@ -70,11 +76,21 @@ func maxNodeGroup(v *team.View) int {
 func redScratch[T any](v *team.View, alg string, elems int) (*pgas.Coarray[T], int, int) {
 	regions := maxNodeGroup(v) + 1 // group slots + result slot
 	c := sizeClass(elems)
+	x := v.Memo(team.MemoKey{Kind: "core:redscratch", Alg: alg, N: c}, func() interface{} {
+		return newRedScratch[T](v, alg, c, regions)
+	})
+	if co, ok := x.(*pgas.Coarray[T]); ok {
+		return co, c, regions
+	}
+	// Memo slot taken by another element type: the registry disambiguates.
+	return newRedScratch[T](v, alg, c, regions), c, regions
+}
+
+func newRedScratch[T any](v *team.View, alg string, c, regions int) *pgas.Coarray[T] {
 	name := fmt.Sprintf("core:%s:team%d:cap%d", alg, v.T.ID(), c)
 	members := make([]int, v.T.Size())
 	copy(members, v.T.Members())
-	co := pgas.NewTeamCoarray[T](v.Img.World(), name, c*2*regions, members)
-	return co, c, regions
+	return pgas.NewTeamCoarray[T](v.Img.World(), name, c*2*regions, members)
 }
 
 // AllreduceTwoLevel is the memory-hierarchy-aware all-to-all reduction

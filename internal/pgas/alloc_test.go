@@ -1,0 +1,62 @@
+package pgas
+
+import (
+	"testing"
+
+	"cafteams/internal/machine"
+	"cafteams/internal/sim"
+	"cafteams/internal/topology"
+	"cafteams/internal/trace"
+)
+
+// TestFlagDeliveryZeroAlloc pins the pooled remote-notification path on the
+// sim backend: in steady state a NotifyAdd — route hops, pooled delivery
+// record, flag bump, cond wake — and the matching WaitFlagGE must not
+// allocate. This is the per-message cost of every collective's
+// synchronization, so a regression here multiplies across whole sweeps.
+func TestFlagDeliveryZeroAlloc(t *testing.T) {
+	topo, err := topology.ParseSpec("4(2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv()
+	w, err := NewWorld(env, machine.PaperCluster(), topo, trace.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewFlags(w, "ping", 1)
+	stop := false
+	w.Launch(func(im *Image) {
+		switch im.Rank() {
+		case 0:
+			var sent int64
+			for !stop {
+				sent++
+				im.NotifyAdd(fl, 1, 0, 1, ViaConduit)
+				im.Sleep(10 * sim.Microsecond)
+			}
+		case 1:
+			var seen int64
+			for !stop {
+				seen++
+				im.WaitFlagGE(fl, 1, 0, seen)
+			}
+		}
+	})
+	// Warm: grow the event heap, the delivery pool, and the flag tables.
+	limit := 500 * sim.Microsecond
+	if err := env.Run(limit); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		limit += 100 * sim.Microsecond
+		if err := env.Run(limit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stop = true
+	_ = env.Run(0) // drain; the waiter ends blocked, which is fine here
+	if allocs != 0 {
+		t.Fatalf("pooled flag delivery allocates %.1f objects per segment, want 0", allocs)
+	}
+}

@@ -22,6 +22,46 @@ type Coarray[T any] struct {
 	// members restricts which images own a slab (team-scoped coarrays
 	// allocated inside a change-team block). nil means all images.
 	members map[int]bool
+
+	// stageFree pools put-staging records (see putStage). Only the sim
+	// transport stages (Immediate() == false), and its execution is
+	// serialized by the single-scheduler kernel, so a plain LIFO slice is
+	// safe and deterministic.
+	stageFree []*putStage[T]
+}
+
+// putStage is one staged one-sided write: the injection-buffer copy plus a
+// prebound commit closure, pooled per coarray so the steady-state put path
+// allocates nothing once buffers have grown.
+type putStage[T any] struct {
+	c   *Coarray[T]
+	dst []T
+	off int
+	buf []T
+	run func() // prebound (*putStage).commit
+}
+
+func (s *putStage[T]) commit() {
+	copy(s.dst[s.off:], s.buf)
+	s.dst = nil
+	s.c.stageFree = append(s.c.stageFree, s)
+}
+
+// stage takes a pooled staging record and fills it with a copy of src
+// destined for dst[off:].
+func (c *Coarray[T]) stage(dst []T, off int, src []T) *putStage[T] {
+	var s *putStage[T]
+	if n := len(c.stageFree); n > 0 {
+		s = c.stageFree[n-1]
+		c.stageFree = c.stageFree[:n-1]
+	} else {
+		s = &putStage[T]{c: c}
+		s.run = s.commit
+	}
+	s.dst = dst
+	s.off = off
+	s.buf = append(s.buf[:0], src...)
+	return s
 }
 
 // sizeOf infers the byte size of T for cost accounting.
@@ -116,14 +156,14 @@ func Local[T any](c *Coarray[T], im *Image) []T { return c.slab(im.rank) }
 // transport whose Put commits synchronously inside the call (shared memory)
 // reads src directly; an asynchronous transport gets a staged copy so the
 // caller may reuse src immediately after Put returns — the usual
-// injection-buffer semantics.
-func stageCommit[T any](im *Image, dst []T, off int, src []T) func() {
+// injection-buffer semantics. Staged records come from the coarray's pool;
+// a record whose commit is never run (a dropped message under fault
+// injection) simply falls to the garbage collector.
+func stageCommit[T any](im *Image, c *Coarray[T], dst []T, off int, src []T) func() {
 	if im.w.tr.Immediate() {
 		return func() { copy(dst[off:], src) }
 	}
-	buf := make([]T, len(src))
-	copy(buf, src)
-	return func() { copy(dst[off:], buf) }
+	return c.stage(dst, off, src).run
 }
 
 // Put copies src into target's slab at offset off — the CAF assignment
@@ -138,7 +178,7 @@ func Put[T any](im *Image, c *Coarray[T], target, off int, src []T, via Via) {
 	}
 	nbytes := len(src) * c.elemSize
 	im.w.stats.Message(trace.OpPut, im.SameNode(target) && target != im.rank, target == im.rank, nbytes)
-	im.w.tr.Put(im, target, nbytes, im.resolveVia(target, via), stageCommit(im, dst, off, src))
+	im.w.tr.Put(im, target, nbytes, im.resolveVia(target, via), stageCommit(im, c, dst, off, src))
 }
 
 // Get copies length len(dst) from target's slab at offset off into dst — the
@@ -168,5 +208,5 @@ func PutThenNotify[T any](im *Image, c *Coarray[T], target, off int, src []T, f 
 	im.w.stats.Message(trace.OpPut, shm, target == im.rank, nbytes)
 	im.w.stats.Message(trace.OpNotify, shm, target == im.rank, 8)
 	im.w.tr.PutThenNotify(im, target, nbytes, im.resolveVia(target, via),
-		stageCommit(im, dst, off, src), f, idx, delta)
+		stageCommit(im, c, dst, off, src), f, idx, delta)
 }

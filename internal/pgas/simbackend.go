@@ -37,10 +37,24 @@ type simWorld struct {
 	// (any flags array): it serves both WaitFlagGE waiters and the rank's
 	// split-phase progress engine.
 	rowCond []sim.Cond
+
+	// freeDel is the delivery-record free list (LIFO). Records cycle
+	// strictly within the scheduler goroutine, so a plain slice is both
+	// safe and deterministic.
+	freeDel []*delivery
 }
+
+// Wait kinds for simImage's reusable wait record.
+const (
+	wNone    uint8 = iota
+	wFlag          // flags[wOwner][wIdx] >= wMin
+	wQuiet         // outstanding == 0
+	wGeneric       // wPred()
+)
 
 // simImage is the sim backend's per-image state.
 type simImage struct {
+	im   *Image
 	proc *sim.Proc
 	// hb is the image's heartbeat stamper process, when heartbeats are
 	// enabled; killed together with the image so its stamps go stale.
@@ -50,6 +64,54 @@ type simImage struct {
 	// Quiet waits for it to reach zero.
 	outstanding int
 	quietCond   sim.Cond
+
+	// Reusable wait record. An image is in at most one blocking wait at a
+	// time, so one record (and the once-built eval closure over it)
+	// replaces the per-wait predicate closures and fmt.Sprintf why strings
+	// the hot wait path used to allocate. The fields mirror the wait kinds:
+	// wFlag carries the (flags, owner, idx, min) tuple so the predicate is
+	// a direct atomic load; wGeneric falls back to an arbitrary predicate.
+	wKind     uint8
+	wTimedOut bool
+	wOwner    int
+	wIdx      int
+	wMin      int64
+	wEp0      int64
+	wFlags    *Flags
+	wPred     func() bool
+	eval      func() bool // prebound (*simImage).waitEval
+}
+
+// waitPredNow evaluates the ground-truth wait predicate (no interrupt
+// disjuncts) for the image's current wait record.
+func (si *simImage) waitPredNow() bool {
+	switch si.wKind {
+	case wFlag:
+		return si.wFlags.load(si.wOwner, si.wIdx) >= si.wMin
+	case wQuiet:
+		return si.outstanding == 0
+	default:
+		return si.wPred()
+	}
+}
+
+// waitEval is the cond predicate: the wait is released by the ground truth,
+// a timeout, or an unacknowledged failure announcement.
+func (si *simImage) waitEval() bool {
+	if si.waitPredNow() {
+		return true
+	}
+	return si.wTimedOut || si.im.w.faults.epochLoad() != si.wEp0
+}
+
+// describeWait supplies the expensive wait description lazily for deadlock
+// reports and failure errors (sim.Proc.Describe hook) — the formatting the
+// wait fast path no longer pays.
+func (si *simImage) describeWait() string {
+	if si.wKind == wFlag {
+		return fmt.Sprintf("flag %s[%d][%d]>=%d", si.wFlags.name, si.wOwner, si.wIdx, si.wMin)
+	}
+	return ""
 }
 
 func simW(w *World) *simWorld  { return w.ts.(*simWorld) }
@@ -98,7 +160,9 @@ func NewWorldOn(hw *cluster.Cluster, topo *topology.Topology, stats *trace.Stats
 		rowCond:  make([]sim.Cond, topo.NumImages()),
 	}
 	for _, im := range w.images {
-		im.ts = &simImage{}
+		si := &simImage{im: im}
+		si.eval = si.waitEval
+		im.ts = si
 	}
 	return w, nil
 }
@@ -143,7 +207,9 @@ func (simTransport) Launch(w *World, body func(*Image)) {
 	for _, img := range w.images {
 		img := img
 		sw.env.Spawn(fmt.Sprintf("%simage%d", w.label, img.rank), func(p *sim.Proc) {
-			simI(img).proc = p
+			si := simI(img)
+			si.proc = p
+			p.Describe = si.describeWait
 			body(img)
 		})
 	}
@@ -271,34 +337,57 @@ func (sw *simWorld) wake(rank int) {
 	sw.rowCond[rank].Wake(sw.env)
 }
 
-// simWait blocks im on c until pred holds, raising a *FailedImageError when
-// a failure announcement (epoch change) or the configured wait timeout
-// releases the wait first. With the zero DetectConfig and no failures the
-// wake pattern — and therefore the event stream — is identical to a plain
-// c.Wait: the extra disjuncts never fire and no timer event is scheduled.
-func simWait(im *Image, c *sim.Cond, why string, pred func() bool) {
+// simWait blocks im on c until the wait record configured on its simImage
+// holds, raising a *FailedImageError when a failure announcement (epoch
+// change) or the configured wait timeout releases the wait first. With the
+// zero DetectConfig and no failures the wake pattern — and therefore the
+// event stream — is identical to a plain c.Wait: the extra disjuncts never
+// fire and no timer event is scheduled.
+//
+// Callers set the wait kind (and its operands) on the simImage and pass a
+// static why string; the detailed description, when one exists, is built
+// lazily by describeWait — only for deadlock reports and failure errors.
+func simWait(im *Image, c *sim.Cond, why string) {
 	sw := simW(im.w)
 	fc := im.w.faults
-	proc := simI(im).proc
+	si := simI(im)
 	// Interrupt on any announcement this image has not acknowledged — not
 	// just ones newer than the wait: an unacked dead peer may be the very
 	// image whose notify we are waiting for (see faultCtx.ackEpoch).
-	ep0 := fc.ackEpoch[im.rank]
-	timedOut := false
+	si.wEp0 = fc.ackEpoch[im.rank]
+	si.wTimedOut = false
 	if to := fc.cfg.WaitTimeout; to > 0 {
 		cancel := sw.env.AfterCancelable(to, func() {
-			timedOut = true
+			si.wTimedOut = true
 			c.Wake(sw.env)
 		})
 		defer cancel()
 	}
-	c.Wait(proc, why, func() bool {
-		return pred() || timedOut || fc.epochLoad() != ep0
-	})
-	if pred() {
+	c.Wait(si.proc, why, si.eval)
+	ok := si.waitPredNow()
+	timedOut := si.wTimedOut
+	op := why
+	if !ok {
+		if d := si.describeWait(); d != "" {
+			op = d
+		}
+	}
+	si.wKind = wNone
+	si.wFlags = nil
+	si.wPred = nil
+	if ok {
 		return
 	}
-	panic(fc.failError(why, timedOut))
+	panic(fc.failError(op, timedOut))
+}
+
+// simWaitPred is simWait with an arbitrary predicate (the wGeneric kind),
+// for the colder round-trip paths (get, atomics, async progress).
+func simWaitPred(im *Image, c *sim.Cond, why string, pred func() bool) {
+	si := simI(im)
+	si.wKind = wGeneric
+	si.wPred = pred
+	simWait(im, c, why)
 }
 
 // route computes the delivery time of a message of n payload bytes from im
@@ -353,22 +442,108 @@ func route(im *Image, target int, n int, via Via) sim.Time {
 	}
 }
 
-// deliverAt schedules fn at time t and tracks the operation for Quiet.
-func deliverAt(im *Image, t sim.Time, fn func()) {
+// Delivery kinds for pooled delivery records.
+const (
+	dNop uint8 = iota // dropped message: drains for Quiet, mutates nothing
+	dFn               // run fn (staged put commits, atomic applies)
+	dAdd              // flags add + wake target
+	dSet              // flags monotone set (storeMax) + wake target
+)
+
+// delivery is one in-flight one-sided operation: what to do at the modeled
+// delivery time, plus the issuing image for Quiet accounting. Records are
+// pooled on the world's free list and carry a once-built run closure, so the
+// steady-state put/notify path schedules without allocating. The typed
+// dAdd/dSet kinds exist because flag notifications dominate collective
+// traffic — they deliver without any caller-built closure at all.
+type delivery struct {
+	im   *Image
+	kind uint8
+	tgt  int
+	idx  int
+	val  int64
+	f    *Flags
+	fn   func()
+	run  func() // prebound (*delivery).execute
+}
+
+// getDelivery takes a record off the free list (or builds one) and stamps
+// the issuing image and kind; the caller fills kind-specific fields.
+func (sw *simWorld) getDelivery(im *Image, kind uint8) *delivery {
+	var d *delivery
+	if n := len(sw.freeDel); n > 0 {
+		d = sw.freeDel[n-1]
+		sw.freeDel = sw.freeDel[:n-1]
+	} else {
+		d = &delivery{}
+		d.run = d.execute
+	}
+	d.im = im
+	d.kind = kind
+	return d
+}
+
+// execute performs the delivery, settles Quiet accounting, and returns the
+// record to the pool. Runs as a simulator event.
+func (d *delivery) execute() {
+	im := d.im
+	sw := simW(im.w)
+	switch d.kind {
+	case dFn:
+		d.fn()
+	case dAdd:
+		d.f.add(d.tgt, d.idx, d.val)
+		sw.wake(d.tgt)
+	case dSet:
+		d.f.storeMax(d.tgt, d.idx, d.val)
+		sw.wake(d.tgt)
+	}
 	si := simI(im)
-	si.outstanding++
-	simW(im.w).env.Schedule(t, func() {
-		fn()
-		si.outstanding--
-		if si.outstanding == 0 {
-			si.quietCond.Wake(simW(im.w).env)
-		}
-	})
+	si.outstanding--
+	if si.outstanding == 0 {
+		si.quietCond.Wake(sw.env)
+	}
+	d.im = nil
+	d.f = nil
+	d.fn = nil
+	sw.freeDel = append(sw.freeDel, d)
+}
+
+// dispatch schedules d at time t and tracks the operation for Quiet.
+func dispatch(im *Image, t sim.Time, d *delivery) {
+	simI(im).outstanding++
+	simW(im.w).env.Schedule(t, d.run)
+}
+
+// deliverAt schedules fn at time t and tracks the operation for Quiet — the
+// generic (closure-carrying) form used by put commits and atomic applies.
+func deliverAt(im *Image, t sim.Time, fn func()) {
+	d := simW(im.w).getDelivery(im, dFn)
+	d.fn = fn
+	dispatch(im, t, d)
+}
+
+// deliverNop schedules a dropped message: it drains for Quiet at the time
+// the sender believes delivery happened, but mutates nothing.
+func deliverNop(im *Image, t sim.Time) {
+	dispatch(im, t, simW(im.w).getDelivery(im, dNop))
+}
+
+// deliverFlagOp schedules a pooled flag mutation (dAdd or dSet) on f's
+// target row — the zero-alloc path under every notify.
+func deliverFlagOp(im *Image, t sim.Time, kind uint8, f *Flags, target, idx int, val int64) {
+	d := simW(im.w).getDelivery(im, kind)
+	d.f = f
+	d.tgt = target
+	d.idx = idx
+	d.val = val
+	dispatch(im, t, d)
 }
 
 func (simTransport) Quiet(im *Image) {
 	si := simI(im)
-	simWait(im, &si.quietCond, "quiet", func() bool { return si.outstanding == 0 })
+	si.wKind = wQuiet
+	simWait(im, &si.quietCond, "quiet")
 }
 
 // simDropped decides whether one logical inter-node operation from im to
@@ -387,7 +562,7 @@ func simDropped(im *Image, target int) bool {
 func (simTransport) Put(im *Image, target, nbytes int, via Via, commit func()) {
 	deliver := route(im, target, nbytes, via)
 	if simDropped(im, target) {
-		deliverAt(im, deliver, func() {})
+		deliverNop(im, deliver)
 		return
 	}
 	deliverAt(im, deliver, commit)
@@ -417,10 +592,9 @@ func (simTransport) Get(im *Image, target, nbytes int, commit func()) {
 	// announcement releases the waiter then.
 	proc.Sleep(m.Net.O)
 	dstNode := w.topo.NodeOf(target)
-	why := fmt.Sprintf("get from %d", target)
 	fc := w.faults
 	if fc.dropNow(im.node, dstNode) || fc.dropNow(dstNode, im.node) {
-		simWait(im, &sw.rowCond[im.rank], why, func() bool { return false })
+		simWaitPred(im, &sw.rowCond[im.rank], "get", func() bool { return false })
 		return
 	}
 	now := proc.Now()
@@ -437,11 +611,10 @@ func (simTransport) Get(im *Image, target, nbytes int, commit func()) {
 		done = true
 		sw.wake(im.rank)
 	})
-	simWait(im, &sw.rowCond[im.rank], why, func() bool { return done })
+	simWaitPred(im, &sw.rowCond[im.rank], "get", func() bool { return done })
 }
 
 func (simTransport) PutThenNotify(im *Image, target, nbytes int, via Via, commit func(), f *Flags, idx int, delta int64) {
-	sw := simW(im.w)
 	deliverData := route(im, target, nbytes, via)
 	deliverFlag := route(im, target, 8, via)
 	if deliverFlag < deliverData {
@@ -451,41 +624,30 @@ func (simTransport) PutThenNotify(im *Image, target, nbytes int, via Via, commit
 		// One drop decision for the pair: losing the payload but landing
 		// the flag would break the ordered-delivery contract the put+flag
 		// idiom rests on.
-		deliverAt(im, deliverData, func() {})
-		deliverAt(im, deliverFlag, func() {})
+		deliverNop(im, deliverData)
+		deliverNop(im, deliverFlag)
 		return
 	}
 	deliverAt(im, deliverData, commit)
-	deliverAt(im, deliverFlag, func() {
-		f.add(target, idx, delta)
-		sw.wake(target)
-	})
+	deliverFlagOp(im, deliverFlag, dAdd, f, target, idx, delta)
 }
 
 func (simTransport) NotifyAdd(im *Image, f *Flags, target, idx int, delta int64, via Via) {
-	sw := simW(im.w)
 	deliver := route(im, target, 8, via)
 	if simDropped(im, target) {
-		deliverAt(im, deliver, func() {})
+		deliverNop(im, deliver)
 		return
 	}
-	deliverAt(im, deliver, func() {
-		f.add(target, idx, delta)
-		sw.wake(target)
-	})
+	deliverFlagOp(im, deliver, dAdd, f, target, idx, delta)
 }
 
 func (simTransport) NotifySet(im *Image, f *Flags, target, idx int, val int64, via Via) {
-	sw := simW(im.w)
 	deliver := route(im, target, 8, via)
 	if simDropped(im, target) {
-		deliverAt(im, deliver, func() {})
+		deliverNop(im, deliver)
 		return
 	}
-	deliverAt(im, deliver, func() {
-		f.storeMax(target, idx, val)
-		sw.wake(target)
-	})
+	deliverFlagOp(im, deliver, dSet, f, target, idx, val)
 }
 
 // atomicRoundTrip models the timing of a blocking remote read-modify-write:
@@ -514,7 +676,7 @@ func atomicRoundTrip(im *Image, target, reqBytes int, why string, apply func() i
 		// Lost round trip: the remote cell is never mutated, the caller
 		// waits for a timeout or failure announcement.
 		proc.Sleep(m.Net.O)
-		simWait(im, &sw.rowCond[im.rank], why+" response", func() bool { return false })
+		simWaitPred(im, &sw.rowCond[im.rank], why, func() bool { return false })
 	}
 	deliver := route(im, target, reqBytes, ViaConduit)
 	var old int64
@@ -534,7 +696,7 @@ func atomicRoundTrip(im *Image, target, reqBytes int, why string, apply func() i
 		done = true
 		sw.wake(im.rank)
 	})
-	simWait(im, &sw.rowCond[im.rank], why+" response", func() bool { return done })
+	simWaitPred(im, &sw.rowCond[im.rank], why, func() bool { return done })
 	return old
 }
 
@@ -560,14 +722,18 @@ func (simTransport) CompareAndSwap(im *Image, f *Flags, target, idx int, expecte
 
 func (simTransport) WaitFlagGE(im *Image, f *Flags, owner, idx int, min int64) {
 	sw := simW(im.w)
-	simWait(im, &sw.rowCond[owner],
-		fmt.Sprintf("flag %s[%d][%d]>=%d", f.name, owner, idx, min),
-		func() bool { return f.load(owner, idx) >= min })
+	si := simI(im)
+	si.wKind = wFlag
+	si.wFlags = f
+	si.wOwner = owner
+	si.wIdx = idx
+	si.wMin = min
+	simWait(im, &sw.rowCond[owner], "flag wait")
 }
 
 func (simTransport) WaitAsync(im *Image, ready func() bool) {
 	sw := simW(im.w)
-	simWait(im, &sw.rowCond[im.rank], "async progress", ready)
+	simWaitPred(im, &sw.rowCond[im.rank], "async progress", ready)
 }
 
 func (simTransport) WakeRank(w *World, rank int) {

@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+// TestScheduleDrainZeroAlloc pins the steady-state schedule→pop path at zero
+// allocations per event: once the heap has grown to its working capacity,
+// scheduling a plain function event and draining it must not allocate.
+func TestScheduleDrainZeroAlloc(t *testing.T) {
+	e := NewEnv()
+	tick := func() {}
+	// Warm the heap's backing array past anything the measurement pushes.
+	for i := 0; i < 64; i++ {
+		e.Schedule(e.Now()+Time(i), tick)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 8; i++ {
+			e.Schedule(e.Now()+Time(i), tick)
+		}
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule→pop steady state allocates %.1f objects per drain, want 0", allocs)
+	}
+}
+
+// TestSleepResumeZeroAlloc pins the process resume path: a process sleeping
+// in a loop (self-resume, the hot pattern behind every modeled transfer hop)
+// must not allocate once warm — resumes are by-value events, not closures.
+func TestSleepResumeZeroAlloc(t *testing.T) {
+	e := NewEnv()
+	stop := false
+	e.Spawn("sleeper", func(p *Proc) {
+		for !stop {
+			p.Sleep(1)
+		}
+	})
+	limit := Time(64)
+	if err := e.Run(limit); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		limit += 16
+		if err := e.Run(limit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stop = true
+	e.RunAll()
+	if allocs != 0 {
+		t.Fatalf("sleep/resume steady state allocates %.1f objects per segment, want 0", allocs)
+	}
+}
+
+// TestCancelableTimerSteadyStateZeroAlloc pins the timer slot free list: a
+// schedule/fire (or schedule/cancel) cycle reuses its slot.
+func TestCancelableTimerSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEnv()
+	tick := func() {}
+	for i := 0; i < 16; i++ { // grow the slot table and free list
+		e.AfterCancelable(Time(i), tick)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(200, func() {
+		cancel := e.AfterCancelable(1, tick)
+		e.AfterCancelable(2, tick)
+		cancel()
+		e.RunAll()
+	})
+	// Each AfterCancelable returns a fresh cancel closure (two per cycle
+	// here) — the one unavoidable allocation; the slots, the events, and
+	// the skip-on-pop must add nothing on top.
+	if allocs > 2 {
+		t.Fatalf("cancelable timer cycle allocates %.1f objects, want <= 2 (the cancel closures)", allocs)
+	}
+}

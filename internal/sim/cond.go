@@ -7,7 +7,7 @@ package sim
 // PGAS sync flags: a remote Put delivery mutates a flag cell and wakes the
 // images spinning on it.
 type Cond struct {
-	waiters []*condWaiter
+	waiters []condWaiter
 }
 
 type condWaiter struct {
@@ -17,37 +17,43 @@ type condWaiter struct {
 
 // Wait blocks the calling process until pred() is true. pred is evaluated
 // immediately; if already true the process does not block. why labels the
-// wait in deadlock reports.
+// wait in deadlock reports; it must be cheap to build (use Proc.Describe for
+// expensive detail). Waiters are stored by value, so a steady-state
+// wait/wake cycle does not allocate once the waiter slice has grown.
 func (c *Cond) Wait(p *Proc, why string, pred func() bool) {
 	if pred() {
 		return
 	}
-	w := &condWaiter{p: p, pred: pred}
-	c.waiters = append(c.waiters, w)
+	c.waiters = append(c.waiters, condWaiter{p: p, pred: pred})
 	p.block(why)
 }
 
 // Wake re-evaluates every waiter's predicate and schedules satisfied waiters
 // to resume at the current time. Must be called from scheduler context (an
 // event function) or from a running process after mutating the guarded
-// state.
+// state. Resumes are scheduled closure-free, so a wake costs one queue push
+// per satisfied waiter and nothing else.
 func (c *Cond) Wake(e *Env) {
 	if len(c.waiters) == 0 {
 		return
 	}
 	kept := c.waiters[:0]
-	for _, w := range c.waiters {
+	for i := range c.waiters {
+		w := &c.waiters[i]
 		if w.p.done || w.p.killed {
 			// A killed waiter was already force-resumed by Kill; drop its
 			// stale entry so its predicate is never evaluated again.
 			continue
 		}
 		if w.pred() {
-			pw := w.p
-			e.Schedule(e.now, func() { e.runProc(pw) })
+			e.scheduleProc(e.now, w.p)
 		} else {
-			kept = append(kept, w)
+			kept = append(kept, *w)
 		}
+	}
+	// Clear dropped tail slots so predicates/procs don't leak past removal.
+	for i := len(kept); i < len(c.waiters); i++ {
+		c.waiters[i] = condWaiter{}
 	}
 	c.waiters = kept
 }

@@ -1,0 +1,617 @@
+package sim
+
+// Differential test harness for the simulator core.
+//
+// refEnv below is a faithful retention of the kernel this package shipped
+// before the typed-queue / direct-handoff rewrite: boxed *refEvent nodes in a
+// container/heap binary heap, closure-based process resumes, and a dedicated
+// scheduler goroutine that bounces control through a yield channel. It is the
+// oracle: seeded random workloads — schedules, cancelable timers (some
+// canceled, some not), process sleeps and yields, condition waits, kills, and
+// segmented Run(limit) — execute against both kernels, and the harness
+// asserts the observable record is identical event for event: execution
+// order, timestamps, Events() counts, end times, and deadlock reports.
+//
+// The shared semantics suite at the bottom additionally pins the documented
+// corner cases (Run's peek-before-pop limit stop, same-timestamp scheduling
+// order, Yield's run-queued-events-first contract) against both kernels by
+// name, so a regression says which contract broke, not just "logs differ".
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Reference kernel (pre-rewrite semantics, test-only oracle)
+// ---------------------------------------------------------------------------
+
+type refEvent struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type refEnv struct {
+	now      Time
+	seq      uint64
+	events   int64
+	queue    refHeap
+	yield    chan struct{}
+	procs    []*refProc
+	panicked interface{}
+	hasPanic bool
+}
+
+type refProc struct {
+	env       *refEnv
+	name      string
+	resume    chan struct{}
+	done      bool
+	killed    bool
+	blockedOn string
+}
+
+func newRefEnv() *refEnv { return &refEnv{yield: make(chan struct{})} }
+
+func (e *refEnv) Now() Time     { return e.now }
+func (e *refEnv) Events() int64 { return e.events }
+
+func (e *refEnv) Schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &refEvent{at: at, seq: e.seq, fn: fn})
+}
+
+func (e *refEnv) AfterCancelable(d Time, fn func()) func() {
+	at := e.now + d
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &refEvent{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return func() { ev.canceled = true }
+}
+
+func (e *refEnv) Spawn(name string, fn func(p *refProc)) *refProc {
+	p := &refProc{env: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, wasKill := r.(Killed); !wasKill {
+					e.panicked = r
+					e.hasPanic = true
+				}
+			}
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		if p.killed {
+			panic(Killed{Proc: p.name})
+		}
+		fn(p)
+	}()
+	e.Schedule(e.now, func() { e.runProc(p) })
+	return p
+}
+
+func (e *refEnv) runProc(p *refProc) {
+	if p.done {
+		return
+	}
+	p.blockedOn = ""
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+func (p *refProc) block(why string) {
+	p.blockedOn = why
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(Killed{Proc: p.name})
+	}
+}
+
+func (p *refProc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	p.env.Schedule(p.env.now, func() { p.env.runProc(p) })
+}
+
+func (p *refProc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	e.Schedule(e.now+d, func() { e.runProc(p) })
+	p.block("sleep")
+}
+
+func (p *refProc) Yield() { p.Sleep(0) }
+
+type refCond struct {
+	waiters []*refCondWaiter
+}
+
+type refCondWaiter struct {
+	p    *refProc
+	pred func() bool
+}
+
+func (c *refCond) Wait(p *refProc, why string, pred func() bool) {
+	if pred() {
+		return
+	}
+	c.waiters = append(c.waiters, &refCondWaiter{p: p, pred: pred})
+	p.block(why)
+}
+
+func (c *refCond) Wake(e *refEnv) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.p.done || w.p.killed {
+			continue
+		}
+		if w.pred() {
+			pw := w.p
+			e.Schedule(e.now, func() { e.runProc(pw) })
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+func (e *refEnv) Run(limit Time) error {
+	for len(e.queue) > 0 {
+		if limit > 0 && e.queue[0].at > limit {
+			e.now = limit
+			return nil
+		}
+		ev := heap.Pop(&e.queue).(*refEvent)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.events++
+		ev.fn()
+		if e.hasPanic {
+			panic(e.panicked)
+		}
+	}
+	var blocked []string
+	for _, p := range e.procs {
+		if !p.done {
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockedOn))
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{At: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Model adapters: one API over both kernels
+// ---------------------------------------------------------------------------
+
+type diffProc interface {
+	Sleep(d Time)
+	Yield()
+	Kill()
+}
+
+type diffCond interface {
+	Wait(p diffProc, why string, pred func() bool)
+	Wake()
+}
+
+type diffModel interface {
+	Schedule(at Time, fn func())
+	AfterCancelable(d Time, fn func()) func()
+	Spawn(name string, body func(p diffProc)) diffProc
+	NewCond() diffCond
+	Run(limit Time) error
+	Now() Time
+	Events() int64
+}
+
+// Live kernel adapter.
+
+type liveProc struct{ p *Proc }
+
+func (lp *liveProc) Sleep(d Time) { lp.p.Sleep(d) }
+func (lp *liveProc) Yield()       { lp.p.Yield() }
+func (lp *liveProc) Kill()        { lp.p.Kill() }
+
+type liveCond struct {
+	e *Env
+	c Cond
+}
+
+func (lc *liveCond) Wait(p diffProc, why string, pred func() bool) {
+	lc.c.Wait(p.(*liveProc).p, why, pred)
+}
+func (lc *liveCond) Wake() { lc.c.Wake(lc.e) }
+
+type liveModel struct{ e *Env }
+
+func newLiveModel() diffModel { return &liveModel{e: NewEnv()} }
+
+func (m *liveModel) Schedule(at Time, fn func())              { m.e.Schedule(at, fn) }
+func (m *liveModel) AfterCancelable(d Time, fn func()) func() { return m.e.AfterCancelable(d, fn) }
+func (m *liveModel) Spawn(name string, body func(diffProc)) diffProc {
+	h := &liveProc{}
+	h.p = m.e.Spawn(name, func(*Proc) { body(h) })
+	return h
+}
+func (m *liveModel) NewCond() diffCond    { return &liveCond{e: m.e} }
+func (m *liveModel) Run(limit Time) error { return m.e.Run(limit) }
+func (m *liveModel) Now() Time            { return m.e.Now() }
+func (m *liveModel) Events() int64        { return m.e.Events() }
+
+// Reference kernel adapter.
+
+type refProcH struct{ p *refProc }
+
+func (rp *refProcH) Sleep(d Time) { rp.p.Sleep(d) }
+func (rp *refProcH) Yield()       { rp.p.Yield() }
+func (rp *refProcH) Kill()        { rp.p.Kill() }
+
+type refCondH struct {
+	e *refEnv
+	c refCond
+}
+
+func (rc *refCondH) Wait(p diffProc, why string, pred func() bool) {
+	rc.c.Wait(p.(*refProcH).p, why, pred)
+}
+func (rc *refCondH) Wake() { rc.c.Wake(rc.e) }
+
+type refModel struct{ e *refEnv }
+
+func newRefModel() diffModel { return &refModel{e: newRefEnv()} }
+
+func (m *refModel) Schedule(at Time, fn func())              { m.e.Schedule(at, fn) }
+func (m *refModel) AfterCancelable(d Time, fn func()) func() { return m.e.AfterCancelable(d, fn) }
+func (m *refModel) Spawn(name string, body func(diffProc)) diffProc {
+	h := &refProcH{}
+	h.p = m.e.Spawn(name, func(*refProc) { body(h) })
+	return h
+}
+func (m *refModel) NewCond() diffCond    { return &refCondH{e: m.e} }
+func (m *refModel) Run(limit Time) error { return m.e.Run(limit) }
+func (m *refModel) Now() Time            { return m.e.Now() }
+func (m *refModel) Events() int64        { return m.e.Events() }
+
+// ---------------------------------------------------------------------------
+// Workload scripts (generated as data, interpreted against both kernels)
+// ---------------------------------------------------------------------------
+
+const (
+	stepSleep = iota // sleep for d
+	stepYield        // yield the processor
+	stepWait         // wait on the shared cond until cell >= d
+)
+
+type wlStep struct {
+	kind int
+	d    Time
+}
+
+const (
+	opLog    = iota // run a logging event
+	opKill          // kill procs[target]
+	opCancel        // cancel timers[target] (may fire after the timer ran)
+	opSpawn         // spawn late[target] as a new process mid-run
+	opBump          // cell += d, then wake the shared cond
+)
+
+type wlOp struct {
+	at     Time
+	kind   int
+	target int
+	d      int64
+}
+
+type workload struct {
+	procs  [][]wlStep // initial processes
+	late   [][]wlStep // bodies for opSpawn
+	timers []Time     // AfterCancelable delays
+	ops    []wlOp
+	limits []Time // Run segments, ascending; final entry is 0 (run to completion)
+}
+
+func genWorkload(rng *rand.Rand) workload {
+	var w workload
+	genSteps := func(allowWait bool) []wlStep {
+		steps := make([]wlStep, 1+rng.Intn(7))
+		for i := range steps {
+			switch k := rng.Intn(4); {
+			case k == 0:
+				steps[i] = wlStep{kind: stepYield}
+			case k == 3 && allowWait:
+				steps[i] = wlStep{kind: stepWait, d: Time(1 + rng.Intn(8))}
+			default:
+				steps[i] = wlStep{kind: stepSleep, d: Time(rng.Intn(40))}
+			}
+		}
+		return steps
+	}
+	for i := 0; i < 2+rng.Intn(5); i++ {
+		w.procs = append(w.procs, genSteps(true))
+	}
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		w.late = append(w.late, genSteps(false))
+	}
+	for i := 0; i < rng.Intn(6); i++ {
+		w.timers = append(w.timers, Time(rng.Intn(150)))
+	}
+	nOps := 4 + rng.Intn(12)
+	for i := 0; i < nOps; i++ {
+		op := wlOp{at: Time(rng.Intn(200))}
+		switch k := rng.Intn(10); {
+		case k < 4:
+			op.kind = opLog
+		case k < 6:
+			op.kind = opBump
+			op.d = int64(1 + rng.Intn(3))
+		case k < 7 && len(w.procs) > 0:
+			op.kind = opKill
+			op.target = rng.Intn(len(w.procs))
+		case k < 8 && len(w.timers) > 0:
+			op.kind = opCancel
+			op.target = rng.Intn(len(w.timers))
+		case len(w.late) > 0:
+			op.kind = opSpawn
+			op.target = rng.Intn(len(w.late))
+		default:
+			op.kind = opLog
+		}
+		w.ops = append(w.ops, op)
+	}
+	// A few waiters may be left forever unsatisfied: those runs must
+	// deadlock identically in both kernels, which is itself asserted.
+	lim := Time(0)
+	for i := 0; i < rng.Intn(3); i++ {
+		lim += Time(20 + rng.Intn(80))
+		w.limits = append(w.limits, lim)
+	}
+	w.limits = append(w.limits, 0)
+	return w
+}
+
+// runWorkload interprets w against m and returns the full observable record.
+func runWorkload(m diffModel, w workload) []string {
+	var log []string
+	rec := func(format string, args ...interface{}) {
+		prefix := fmt.Sprintf("t=%-6d n=%-5d ", m.Now(), m.Events())
+		log = append(log, prefix+fmt.Sprintf(format, args...))
+	}
+	var cell int64
+	cond := m.NewCond()
+	body := func(id int, steps []wlStep) func(diffProc) {
+		return func(dp diffProc) {
+			for i, s := range steps {
+				rec("p%d step %d", id, i)
+				switch s.kind {
+				case stepSleep:
+					dp.Sleep(s.d)
+				case stepYield:
+					dp.Yield()
+				case stepWait:
+					min := s.d
+					cond.Wait(dp, "cell wait", func() bool { return cell >= min })
+				}
+			}
+			rec("p%d done", id)
+		}
+	}
+	procs := make([]diffProc, len(w.procs))
+	for i := range w.procs {
+		procs[i] = m.Spawn(fmt.Sprintf("p%d", i), body(i, w.procs[i]))
+	}
+	cancels := make([]func(), len(w.timers))
+	for k, d := range w.timers {
+		k := k
+		cancels[k] = m.AfterCancelable(d, func() { rec("timer %d", k) })
+	}
+	for oi, op := range w.ops {
+		oi, op := oi, op
+		switch op.kind {
+		case opLog:
+			m.Schedule(op.at, func() { rec("ev %d", oi) })
+		case opKill:
+			m.Schedule(op.at, func() { rec("kill p%d", op.target); procs[op.target].Kill() })
+		case opCancel:
+			m.Schedule(op.at, func() { rec("cancel timer %d", op.target); cancels[op.target]() })
+		case opSpawn:
+			m.Schedule(op.at, func() {
+				rec("spawn late%d", op.target)
+				m.Spawn(fmt.Sprintf("late%d.%d", op.target, oi), body(100+oi, w.late[op.target]))
+			})
+		case opBump:
+			m.Schedule(op.at, func() {
+				cell += op.d
+				rec("bump cell=%d", cell)
+				cond.Wake()
+			})
+		}
+	}
+	for _, lim := range w.limits {
+		err := m.Run(lim)
+		rec("run(%d) -> err=%v", lim, err)
+	}
+	return log
+}
+
+// TestDifferentialRandomWorkloads drives seeded random workloads through the
+// live kernel and the reference kernel and requires a line-identical record.
+func TestDifferentialRandomWorkloads(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			w := genWorkload(rand.New(rand.NewSource(int64(seed))))
+			live := runWorkload(newLiveModel(), w)
+			ref := runWorkload(newRefModel(), w)
+			if len(live) != len(ref) {
+				t.Fatalf("record length diverged: live=%d ref=%d\nlive tail: %v\nref tail: %v",
+					len(live), len(ref), tail(live), tail(ref))
+			}
+			for i := range live {
+				if live[i] != ref[i] {
+					t.Fatalf("record diverged at line %d:\n  live: %s\n  ref:  %s", i, live[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+func tail(s []string) []string {
+	if len(s) > 5 {
+		return s[len(s)-5:]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Shared semantics suite: named contracts, run against both kernels
+// ---------------------------------------------------------------------------
+
+// TestQueueSemanticsSuite pins the documented kernel contracts against both
+// implementations, so the oracle itself is held to the same rules.
+func TestQueueSemanticsSuite(t *testing.T) {
+	for _, kernel := range []struct {
+		name string
+		mk   func() diffModel
+	}{
+		{"live", newLiveModel},
+		{"reference", newRefModel},
+	} {
+		kernel := kernel
+		t.Run(kernel.name, func(t *testing.T) {
+			t.Run("limit-peek-before-pop", func(t *testing.T) {
+				m := kernel.mk()
+				var fired []Time
+				for _, at := range []Time{5, 10, 15, 25} {
+					at := at
+					m.Schedule(at, func() { fired = append(fired, at) })
+				}
+				if err := m.Run(12); err != nil {
+					t.Fatalf("segment 1: %v", err)
+				}
+				if m.Now() != 12 {
+					t.Fatalf("stopped at t=%d, want exactly the limit 12", m.Now())
+				}
+				if len(fired) != 2 || m.Events() != 2 {
+					t.Fatalf("events up to the limit: fired=%v events=%d, want [5 10], 2", fired, m.Events())
+				}
+				// The first event past the limit must still be queued: the
+				// next segment picks it up losslessly.
+				if err := m.Run(0); err != nil {
+					t.Fatalf("segment 2: %v", err)
+				}
+				if len(fired) != 4 || fired[2] != 15 || fired[3] != 25 {
+					t.Fatalf("resume after limit lost events: fired=%v", fired)
+				}
+				if m.Now() != 25 {
+					t.Fatalf("end time %d, want 25", m.Now())
+				}
+			})
+			t.Run("same-timestamp-schedule-order", func(t *testing.T) {
+				m := kernel.mk()
+				var order []int
+				for i := 0; i < 8; i++ {
+					i := i
+					m.Schedule(50, func() { order = append(order, i) })
+				}
+				if err := m.Run(0); err != nil {
+					t.Fatal(err)
+				}
+				for i, got := range order {
+					if got != i {
+						t.Fatalf("same-timestamp events ran out of scheduling order: %v", order)
+					}
+				}
+			})
+			t.Run("yield-runs-queued-events-first", func(t *testing.T) {
+				m := kernel.mk()
+				var order []string
+				m.Spawn("yielder", func(p diffProc) {
+					order = append(order, "proc before")
+					// Both events below are queued at this timestamp before
+					// the yield; the proc must see them run before resuming.
+					m.Schedule(m.Now(), func() { order = append(order, "ev1") })
+					m.Schedule(m.Now(), func() { order = append(order, "ev2") })
+					p.Yield()
+					order = append(order, "proc after")
+				})
+				if err := m.Run(0); err != nil {
+					t.Fatal(err)
+				}
+				want := []string{"proc before", "ev1", "ev2", "proc after"}
+				if fmt.Sprint(order) != fmt.Sprint(want) {
+					t.Fatalf("yield ordering: got %v, want %v", order, want)
+				}
+			})
+			t.Run("canceled-timer-advances-nothing", func(t *testing.T) {
+				m := kernel.mk()
+				fired := false
+				cancel := m.AfterCancelable(100, func() { fired = true })
+				m.Schedule(10, func() { cancel() })
+				if err := m.Run(0); err != nil {
+					t.Fatal(err)
+				}
+				if fired {
+					t.Fatal("canceled timer fired")
+				}
+				if m.Now() != 10 {
+					t.Fatalf("canceled timer advanced the clock to %d, want 10", m.Now())
+				}
+				if m.Events() != 1 {
+					t.Fatalf("canceled timer counted as an event: Events=%d, want 1", m.Events())
+				}
+			})
+		})
+	}
+}

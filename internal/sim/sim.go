@@ -1,18 +1,27 @@
 // Package sim implements a deterministic discrete-event simulation kernel.
 //
-// Simulated processes run as goroutines, but only one process executes at a
-// time: the scheduler resumes a process, and the process yields back to the
-// scheduler whenever it blocks (sleeping, waiting on a condition) or
-// terminates. Events are ordered by (time, sequence number), so a simulation
-// is fully deterministic and repeatable regardless of Go scheduling.
+// Simulated processes run as goroutines, but only one goroutine executes at a
+// time. Control moves by direct handoff: whichever goroutine is active runs
+// the dispatch loop, and when it pops a resume event for another process it
+// hands control straight to that process's goroutine (one switch, not a
+// bounce through a scheduler goroutine); a process whose own resume event is
+// next simply keeps running with no switch at all. Events are ordered by
+// (time, sequence number), so a simulation is fully deterministic and
+// repeatable regardless of Go scheduling.
 //
 // The kernel is the substrate on which the PGAS runtime models a cluster:
 // simulated time stands in for wall-clock time on the machine described by
 // the paper's evaluation (a 44-node InfiniBand cluster).
+//
+// The hot path — Schedule, process resume, Run's pop loop — is built for
+// throughput: events live by value in a typed 4-ary heap (queue.go), process
+// resumes are scheduled without closures, and nothing on the steady-state
+// schedule→pop path allocates (pinned by TestScheduleDrainZeroAlloc). The
+// semantics are pinned against a retained reference model by the
+// differential harness in queue_diff_test.go.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -28,31 +37,12 @@ const (
 	Second      Time = 1000 * 1000 * 1000
 )
 
-type event struct {
-	at       Time
-	seq      uint64
-	fn       func()
+// timerSlot backs one cancelable event. Slots are recycled through a free
+// list; gen distinguishes incarnations so a stale cancel function (called
+// after its event already ran) can never cancel the slot's next tenant.
+type timerSlot struct {
+	gen      uint32
 	canceled bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // Env is a simulation environment: an event queue, a clock, and a set of
@@ -72,9 +62,15 @@ type Env struct {
 	now    Time
 	seq    uint64
 	events int64
-	queue  eventHeap
-	yield  chan struct{} // process -> scheduler handshake
+	queue  eventQueue
+	driver chan struct{} // wakes the Run caller when a run ends
+	limit  Time          // Run's current limit (0 = none)
 	procs  []*Proc
+
+	// timers backs AfterCancelable events; timerFree is the slot free list.
+	timers    []timerSlot
+	timerFree []int32
+
 	// panicked records a panic escaping a process so Run can re-raise it
 	// on the scheduler goroutine, where the test harness sees it.
 	panicked interface{}
@@ -83,7 +79,7 @@ type Env struct {
 
 // NewEnv returns an empty simulation environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{yield: make(chan struct{})}
+	return &Env{driver: make(chan struct{})}
 }
 
 // Now returns the current simulated time.
@@ -101,7 +97,17 @@ func (e *Env) Schedule(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.queue.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// scheduleProc registers a resume of p at time at — the closure-free form of
+// Schedule(at, func() { e.runProc(p) }) used by every sleep, wake and kill.
+func (e *Env) scheduleProc(at Time, p *Proc) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.queue.push(event{at: at, seq: e.seq, proc: p})
 }
 
 // After registers fn to run d nanoseconds from now.
@@ -118,10 +124,33 @@ func (e *Env) AfterCancelable(d Time, fn func()) (cancel func()) {
 	if at < e.now { // overflow of a huge timeout
 		at = e.now
 	}
+	var idx int32
+	if n := len(e.timerFree); n > 0 {
+		idx = e.timerFree[n-1]
+		e.timerFree = e.timerFree[:n-1]
+	} else {
+		e.timers = append(e.timers, timerSlot{})
+		idx = int32(len(e.timers) - 1)
+	}
+	gen := e.timers[idx].gen
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return func() { ev.canceled = true }
+	e.queue.push(event{at: at, seq: e.seq, fn: fn, timer: idx + 1})
+	return func() {
+		if s := &e.timers[idx]; s.gen == gen {
+			s.canceled = true
+		}
+	}
+}
+
+// releaseTimer retires a popped cancelable event's slot and reports whether
+// the event had been canceled.
+func (e *Env) releaseTimer(timer int32) (canceled bool) {
+	s := &e.timers[timer-1]
+	canceled = s.canceled
+	s.canceled = false
+	s.gen++
+	e.timerFree = append(e.timerFree, timer-1)
+	return canceled
 }
 
 // Proc is a simulated process. All Proc methods must be called from the
@@ -134,8 +163,14 @@ type Proc struct {
 	done   bool
 	killed bool
 	// blockedOn describes what the process is waiting for; used in
-	// deadlock reports.
+	// deadlock reports. Hot paths store static strings here; Describe,
+	// when set, supplies the expensive detail lazily.
 	blockedOn string
+	// Describe, when non-nil, is consulted (only) when a deadlock report
+	// is built: a non-empty result replaces blockedOn. It lets runtime
+	// layers attach rich wait descriptions (flag names, thresholds)
+	// without paying any formatting cost on the wait fast path.
+	Describe func() string
 }
 
 // Killed is the panic value that unwinds a killed process. It is raised the
@@ -164,7 +199,7 @@ func (p *Proc) Kill() {
 	// killed check in block() unwinds it; if it has a pending resume event
 	// (sleeping), it wakes early and unwinds, and the stale resume event
 	// later finds it done and does nothing.
-	p.env.Schedule(p.env.now, func() { p.env.runProc(p) })
+	p.env.scheduleProc(p.env.now, p)
 }
 
 // Alive reports whether p has neither finished nor been killed.
@@ -185,7 +220,9 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 				}
 			}
 			p.done = true
-			e.yield <- struct{}{}
+			// The dying process holds control; keep dispatching from its
+			// goroutine until control transfers elsewhere, then exit.
+			e.dispatch(p.resume)
 		}()
 		if p.killed {
 			// Killed before it ever ran: terminate without executing fn.
@@ -193,29 +230,83 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.Schedule(e.now, func() { e.runProc(p) })
+	e.scheduleProc(e.now, p)
 	return p
 }
 
-// runProc transfers control to p until it yields. Called only from the
-// scheduler goroutine (inside event fns).
-func (e *Env) runProc(p *Proc) {
-	if p.done {
-		return
-	}
-	p.blockedOn = ""
-	p.resume <- struct{}{}
-	<-e.yield
-}
-
-// block yields control back to the scheduler and waits to be resumed.
+// block gives up control and waits to be resumed. The blocking goroutine
+// itself runs the dispatch loop: if its own resume event comes up next it
+// continues with no goroutine switch at all; otherwise control is handed to
+// whichever goroutine the loop reached and this one parks. why must be cheap
+// — pass a static string and use Proc.Describe for detail.
 func (p *Proc) block(why string) {
 	p.blockedOn = why
-	p.env.yield <- struct{}{}
-	<-p.resume
+	if !p.env.dispatch(p.resume) {
+		<-p.resume
+	}
 	if p.killed {
 		panic(Killed{Proc: p.Name})
 	}
+}
+
+// dispatch runs the event loop on the calling goroutine, identified by its
+// resume channel self. It returns true if the loop popped a resume event for
+// self (the caller keeps control and continues), or false after handing
+// control to another goroutine — a resumed process, or the Run caller when
+// the run ends (queue empty, limit reached, or a panic to re-raise) — in
+// which case the caller must park on self (or exit, if it is a dying
+// process).
+func (e *Env) dispatch(self chan struct{}) (resumedSelf bool) {
+	for {
+		if e.hasPanic || e.queue.len() == 0 {
+			return e.handToDriver(self)
+		}
+		if e.limit > 0 && e.queue.minAt() > e.limit {
+			// Peek before pop: the first event past the limit stays queued
+			// so a later Run resumes exactly here.
+			return e.handToDriver(self)
+		}
+		ev := e.queue.pop()
+		if ev.timer != 0 && e.releaseTimer(ev.timer) {
+			continue
+		}
+		e.now = ev.at
+		e.events++
+		if p := ev.proc; p != nil {
+			if p.done {
+				continue // stale resume (killed while sleeping)
+			}
+			p.blockedOn = ""
+			if p.resume == self {
+				return true
+			}
+			p.resume <- struct{}{}
+			return false
+		}
+		e.execFn(ev.fn)
+	}
+}
+
+// handToDriver ends a dispatch run: the Run caller gets control back (unless
+// the caller is the Run caller already).
+func (e *Env) handToDriver(self chan struct{}) bool {
+	if self == e.driver {
+		return true
+	}
+	e.driver <- struct{}{}
+	return false
+}
+
+// execFn runs one event function, capturing a panic so it is re-raised on
+// the Run caller's goroutine no matter which goroutine executed the event.
+func (e *Env) execFn(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked = r
+			e.hasPanic = true
+		}
+	}()
+	fn()
 }
 
 // Now returns the current simulated time.
@@ -233,8 +324,8 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	e := p.env
-	e.Schedule(e.now+d, func() { e.runProc(p) })
-	p.block(fmt.Sprintf("sleep(%d)", d))
+	e.scheduleProc(e.now+d, p)
+	p.block("sleep")
 }
 
 // Yield lets all events queued at the current timestamp run before the
@@ -262,26 +353,28 @@ func (d *DeadlockError) Error() string {
 // queued (the queue is peeked before popping), so a subsequent Run resumes
 // exactly where the previous one stopped.
 func (e *Env) Run(limit Time) error {
-	for len(e.queue) > 0 {
-		if limit > 0 && e.queue[0].at > limit {
-			e.now = limit
-			return nil
-		}
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.events++
-		ev.fn()
-		if e.hasPanic {
-			panic(e.panicked)
-		}
+	e.limit = limit
+	if !e.dispatch(e.driver) {
+		<-e.driver
+	}
+	if e.hasPanic {
+		panic(e.panicked)
+	}
+	if e.queue.len() > 0 {
+		// Stopped at the limit with the next event still queued.
+		e.now = limit
+		return nil
 	}
 	var blocked []string
 	for _, p := range e.procs {
 		if !p.done {
-			blocked = append(blocked, fmt.Sprintf("%s: %s", p.Name, p.blockedOn))
+			why := p.blockedOn
+			if p.Describe != nil {
+				if d := p.Describe(); d != "" {
+					why = d
+				}
+			}
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.Name, why))
 		}
 	}
 	if len(blocked) > 0 {

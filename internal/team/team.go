@@ -50,6 +50,36 @@ type View struct {
 	T    *Team
 	Rank int // this image's team rank, 0-based
 	Img  *pgas.Image
+
+	// memo caches per-view lookups of shared per-team objects (see Memo).
+	memo map[MemoKey]interface{}
+}
+
+// MemoKey keys one view-cached lookup: a kind tag, an algorithm name, and
+// two small integer discriminators (size class, region count...). It is a
+// comparable struct so memo lookups build no strings and box no keys.
+type MemoKey struct {
+	Kind string
+	Alg  string
+	N, M int
+}
+
+// Memo returns the view-cached value for key, computing it with mk on first
+// use. The collective layers use it to skip per-episode registry lookups
+// (and their formatted string keys) on the hot path: the view is one
+// image's private handle, so no locking is needed on either backend, while
+// mk typically delegates to pgas.LookupOrCreate so the *cached object*
+// stays shared team-wide.
+func (v *View) Memo(key MemoKey, mk func() interface{}) interface{} {
+	if x, ok := v.memo[key]; ok {
+		return x
+	}
+	if v.memo == nil {
+		v.memo = make(map[MemoKey]interface{})
+	}
+	x := mk()
+	v.memo[key] = x
+	return x
 }
 
 // idCounter lives in the world registry so ids are unique per world. The

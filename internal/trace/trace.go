@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Op names a traced operation kind.
@@ -30,49 +31,90 @@ const (
 	OpBroadcast Op = "broadcast"
 )
 
-// Stats accumulates counters. Safe for use from a single simulation
-// scheduler; the mutex exists so benchmarks reading snapshots concurrently
-// with other runs stay race-free.
-type Stats struct {
-	mu sync.Mutex
+// numOps is the size of the fixed per-op counter array; opIndex maps the
+// known operation kinds onto it. Unknown ops (none exist in the runtime, but
+// Op is an open string type) fall back to a mutex-guarded overflow map.
+const numOps = 9
 
+func opIndex(op Op) int {
+	switch op {
+	case OpPut:
+		return 0
+	case OpGet:
+		return 1
+	case OpAtomic:
+		return 2
+	case OpNotify:
+		return 3
+	case OpWait:
+		return 4
+	case OpCompute:
+		return 5
+	case OpBarrier:
+		return 6
+	case OpReduce:
+		return 7
+	case OpBroadcast:
+		return 8
+	}
+	return -1
+}
+
+var opNames = [numOps]Op{OpPut, OpGet, OpAtomic, OpNotify, OpWait, OpCompute,
+	OpBarrier, OpReduce, OpBroadcast}
+
+// Stats accumulates counters. Recording is a handful of atomic adds — no
+// lock, no map — because Message/Count sit on the per-message hot path of
+// both backends: the sim scheduler calls them once per modeled transfer, and
+// on the native backend every image goroutine records concurrently.
+type Stats struct {
 	intraMsgs  int64
 	interMsgs  int64
 	intraBytes int64
 	interBytes int64
 	selfMsgs   int64
-	ops        map[Op]int64
+	opCounts   [numOps]int64
+
+	// overflow holds counters for op kinds outside the fixed set; nil until
+	// first touched (never, for the runtime's own ops).
+	mu       sync.Mutex
+	overflow map[Op]int64
 }
 
 // New returns an empty statistics collector.
 func New() *Stats {
-	return &Stats{ops: make(map[Op]int64)}
+	return &Stats{}
 }
 
 // Message records one point-to-point transfer of n payload bytes. sameNode
 // classifies the hierarchy level; self marks an image messaging itself.
 func (s *Stats) Message(op Op, sameNode, self bool, n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ops[op]++
+	s.Count(op)
 	if self {
-		s.selfMsgs++
+		atomic.AddInt64(&s.selfMsgs, 1)
 		return
 	}
 	if sameNode {
-		s.intraMsgs++
-		s.intraBytes += int64(n)
+		atomic.AddInt64(&s.intraMsgs, 1)
+		atomic.AddInt64(&s.intraBytes, int64(n))
 	} else {
-		s.interMsgs++
-		s.interBytes += int64(n)
+		atomic.AddInt64(&s.interMsgs, 1)
+		atomic.AddInt64(&s.interBytes, int64(n))
 	}
 }
 
 // Count bumps a bare operation counter (barrier entries, compute blocks...).
 func (s *Stats) Count(op Op) {
+	if i := opIndex(op); i >= 0 {
+		atomic.AddInt64(&s.opCounts[i], 1)
+		return
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ops[op]++
+	if s.overflow == nil {
+		s.overflow = make(map[Op]int64)
+	}
+	s.overflow[op]++
+	s.mu.Unlock()
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -88,30 +130,43 @@ type Snapshot struct {
 // TotalMsgs returns all off-image messages (intra + inter node).
 func (sn Snapshot) TotalMsgs() int64 { return sn.IntraMsgs + sn.InterMsgs }
 
-// Snapshot returns a copy of the current counters.
+// Snapshot returns a copy of the current counters. Only ops with non-zero
+// counts appear in the map, matching the old map-backed behavior.
 func (s *Stats) Snapshot() Snapshot {
+	ops := make(map[Op]int64)
+	for i, name := range opNames {
+		if v := atomic.LoadInt64(&s.opCounts[i]); v != 0 {
+			ops[name] = v
+		}
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	ops := make(map[Op]int64, len(s.ops))
-	for k, v := range s.ops {
+	for k, v := range s.overflow {
 		ops[k] = v
 	}
+	s.mu.Unlock()
 	return Snapshot{
-		IntraMsgs:  s.intraMsgs,
-		InterMsgs:  s.interMsgs,
-		IntraBytes: s.intraBytes,
-		InterBytes: s.interBytes,
-		SelfMsgs:   s.selfMsgs,
+		IntraMsgs:  atomic.LoadInt64(&s.intraMsgs),
+		InterMsgs:  atomic.LoadInt64(&s.interMsgs),
+		IntraBytes: atomic.LoadInt64(&s.intraBytes),
+		InterBytes: atomic.LoadInt64(&s.interBytes),
+		SelfMsgs:   atomic.LoadInt64(&s.selfMsgs),
 		Ops:        ops,
 	}
 }
 
 // Reset clears all counters.
 func (s *Stats) Reset() {
+	atomic.StoreInt64(&s.intraMsgs, 0)
+	atomic.StoreInt64(&s.interMsgs, 0)
+	atomic.StoreInt64(&s.intraBytes, 0)
+	atomic.StoreInt64(&s.interBytes, 0)
+	atomic.StoreInt64(&s.selfMsgs, 0)
+	for i := range s.opCounts {
+		atomic.StoreInt64(&s.opCounts[i], 0)
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.intraMsgs, s.interMsgs, s.intraBytes, s.interBytes, s.selfMsgs = 0, 0, 0, 0, 0
-	s.ops = make(map[Op]int64)
+	s.overflow = nil
+	s.mu.Unlock()
 }
 
 // Timings accumulates named durations — per-collective-kind episode
